@@ -1,0 +1,33 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark renders its paper artifact (table or figure) as text
+and saves it under ``benchmarks/results/`` so the numbers survive the
+pytest run; EXPERIMENTS.md indexes those files against the paper's
+originals.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write one rendered artifact to disk and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

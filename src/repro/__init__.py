@@ -1,0 +1,78 @@
+"""GenDPR: Secure and Distributed Assessment of Privacy-Preserving GWAS Releases.
+
+A from-scratch Python reproduction of Pascoal, Decouchant and Völp,
+Middleware '22 (DOI 10.1145/3528535.3565253): a distributed middleware
+in which a federation of genome data owners, each hosting a (simulated)
+trusted execution environment, jointly determines the subset of SNPs
+whose GWAS statistics can be released without enabling membership
+inference - without any genome leaving its owner's premises, and
+tolerating up to all-but-one honest-but-curious colluding members.
+
+Quickstart::
+
+    from repro import SyntheticSpec, generate_cohort, StudyConfig, run_study
+
+    cohort, _ = generate_cohort(SyntheticSpec(num_snps=500,
+                                              num_case=1000,
+                                              num_control=900))
+    config = StudyConfig(snp_count=500)
+    result = run_study(cohort, config, num_members=3)
+    print(result.summary())
+
+Subpackages: :mod:`repro.crypto`, :mod:`repro.tee`, :mod:`repro.net`,
+:mod:`repro.genomics`, :mod:`repro.stats`, :mod:`repro.core`,
+:mod:`repro.attacks`, :mod:`repro.bench`.
+"""
+
+from .config import (
+    CollusionPolicy,
+    NetworkProfile,
+    PrivacyThresholds,
+    StudyConfig,
+)
+from .core import (
+    GenDPRProtocol,
+    GwasRelease,
+    StudyResult,
+    build_federation,
+    build_release,
+    hybrid_release,
+    run_centralized_study,
+    run_naive_study,
+    run_study,
+)
+from .errors import ReproError
+from .genomics import (
+    Cohort,
+    GenotypeMatrix,
+    SnpPanel,
+    SyntheticSpec,
+    generate_cohort,
+    partition_cohort,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollusionPolicy",
+    "NetworkProfile",
+    "PrivacyThresholds",
+    "StudyConfig",
+    "GenDPRProtocol",
+    "GwasRelease",
+    "StudyResult",
+    "build_federation",
+    "build_release",
+    "hybrid_release",
+    "run_centralized_study",
+    "run_naive_study",
+    "run_study",
+    "ReproError",
+    "Cohort",
+    "GenotypeMatrix",
+    "SnpPanel",
+    "SyntheticSpec",
+    "generate_cohort",
+    "partition_cohort",
+    "__version__",
+]

@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Four subcommands cover the adoption path of a federation operator:
+
+* ``repro generate`` — create a synthetic study cohort and save it as a
+  ``.npz`` bundle (or import one produced elsewhere with the same keys).
+* ``repro run`` — execute a GenDPR study over a saved cohort, printing
+  the per-phase selection, timings and traffic, optionally with
+  collusion tolerance and a JSON result dump.
+* ``repro attack`` — evaluate the LR membership detector against an
+  arbitrary SNP set of a saved cohort (e.g. to double-check a release).
+* ``repro info`` — describe a saved cohort bundle.
+
+Installed as ``python -m repro`` (see ``repro/__main__.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .attacks import evaluate_attack
+from .config import CollusionPolicy, PrivacyThresholds, StudyConfig
+from .core.protocol import run_study
+from .errors import ReproError
+from .genomics import Cohort, GenotypeMatrix, SnpPanel, SyntheticSpec, generate_cohort
+
+_BUNDLE_KEYS = ("case", "control")
+
+
+def save_cohort_bundle(path: str, cohort: Cohort) -> None:
+    """Persist a cohort as a compressed ``.npz`` bundle."""
+    np.savez_compressed(
+        path,
+        case=cohort.case.array(),
+        control=cohort.control.array(),
+    )
+
+
+def load_cohort_bundle(path: str) -> Cohort:
+    """Load a cohort bundle written by :func:`save_cohort_bundle`."""
+    with np.load(path) as bundle:
+        missing = [key for key in _BUNDLE_KEYS if key not in bundle]
+        if missing:
+            raise ReproError(f"cohort bundle misses arrays: {missing}")
+        case = GenotypeMatrix(bundle["case"])
+        control = GenotypeMatrix(bundle["control"])
+    panel = SnpPanel.synthetic(case.num_snps)
+    return Cohort.control_as_reference(panel, case, control)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = SyntheticSpec(
+        num_snps=args.snps,
+        num_case=args.case,
+        num_control=args.control,
+        num_sites=args.sites,
+        site_effect_sd=args.site_effect,
+        case_drift_sd=args.drift,
+        seed=args.seed,
+    )
+    cohort, _ = generate_cohort(spec)
+    save_cohort_bundle(args.out, cohort)
+    print(f"wrote {args.out}: {cohort.describe()}")
+    return 0
+
+
+def _collusion_policy(value: Optional[str], members: int) -> CollusionPolicy:
+    if value is None:
+        return CollusionPolicy.none()
+    if value == "conservative":
+        return CollusionPolicy.conservative(members)
+    return CollusionPolicy(tuple(int(f) for f in value.split(",")))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cohort = load_cohort_bundle(args.cohort)
+    thresholds = PrivacyThresholds(
+        maf_cutoff=args.maf_cutoff,
+        ld_cutoff=args.ld_cutoff,
+        false_positive_rate=args.alpha,
+        power_threshold=args.beta,
+    )
+    config = StudyConfig(
+        snp_count=cohort.num_snps,
+        thresholds=thresholds,
+        collusion=_collusion_policy(args.collusion, args.members),
+        seed=args.seed,
+        study_id=args.study_id,
+    )
+    result = run_study(cohort, config, args.members)
+
+    print(result.summary())
+    for label, ms in result.timings.as_milliseconds().items():
+        print(f"  {label:<30s} {ms:10.1f} ms")
+    print(f"  network: {result.network_bytes:,} bytes "
+          f"/ {result.network_messages} messages")
+    if result.collusion is not None:
+        vulnerable = result.collusion.vulnerable_snps(tuple(result.l_safe))
+        print(f"  collusion: {result.collusion.combinations_evaluated} "
+              f"combinations, {len(vulnerable)} vulnerable SNPs withheld")
+
+    if args.json:
+        payload = {
+            "study_id": result.study_id,
+            "leader": result.leader_id,
+            "members": result.num_members,
+            "l_des": result.l_des,
+            "l_prime": result.l_prime,
+            "l_double_prime": result.l_double_prime,
+            "l_safe": result.l_safe,
+            "release_power": result.release_power,
+            "timings_ms": result.timings.as_milliseconds(),
+            "network_bytes": result.network_bytes,
+        }
+        if result.collusion is not None:
+            payload["collusion"] = {
+                "baseline_safe": list(result.collusion.baseline_safe),
+                "vulnerable": list(
+                    result.collusion.vulnerable_snps(tuple(result.l_safe))
+                ),
+                "combinations": result.collusion.combinations_evaluated,
+            }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"  result written to {args.json}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    cohort = load_cohort_bundle(args.cohort)
+    if args.release:
+        with open(args.release, encoding="utf-8") as handle:
+            snps = json.load(handle)["l_safe"]
+    elif args.snps:
+        snps = [int(s) for s in args.snps.split(",")]
+    else:
+        snps = list(range(cohort.num_snps))
+    evaluation = evaluate_attack(cohort, snps, alpha=args.alpha)
+    print(f"LR membership attack over {len(snps)} SNPs "
+          f"(alpha={args.alpha}):")
+    print(f"  power:               {evaluation.power:.3f}")
+    print(f"  false-positive rate: {evaluation.false_positive_rate:.3f}")
+    print(f"  advantage:           {evaluation.advantage:.3f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    cohort = load_cohort_bundle(args.cohort)
+    print(cohort.describe())
+    counts = cohort.case.allele_counts()
+    freqs = counts / cohort.case.num_individuals
+    print(f"case minor-allele frequency: min {freqs.min():.4f} "
+          f"median {np.median(freqs):.4f} max {freqs.max():.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GenDPR: distributed assessment of privacy-preserving "
+        "GWAS releases (Middleware '22 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic cohort bundle"
+    )
+    generate.add_argument("--snps", type=int, default=1000)
+    generate.add_argument("--case", type=int, default=1500)
+    generate.add_argument("--control", type=int, default=1300)
+    generate.add_argument("--sites", type=int, default=1)
+    generate.add_argument("--site-effect", type=float, default=0.0)
+    generate.add_argument("--drift", type=float, default=0.085)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    run = subparsers.add_parser("run", help="run a GenDPR study")
+    run.add_argument("--cohort", required=True)
+    run.add_argument("--members", type=int, default=3)
+    run.add_argument(
+        "--collusion",
+        help="comma-separated f values, or 'conservative' for f=1..G-1",
+    )
+    run.add_argument("--maf-cutoff", type=float, default=0.05)
+    run.add_argument("--ld-cutoff", type=float, default=1e-5)
+    run.add_argument("--alpha", type=float, default=0.1)
+    run.add_argument("--beta", type=float, default=0.9)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--study-id", default="cli-study")
+    run.add_argument("--json", help="write the result as JSON to this path")
+    run.set_defaults(func=_cmd_run)
+
+    attack = subparsers.add_parser(
+        "attack", help="evaluate the LR membership attack on a SNP set"
+    )
+    attack.add_argument("--cohort", required=True)
+    attack.add_argument("--snps", help="comma-separated SNP indices")
+    attack.add_argument(
+        "--release", help="JSON result file from 'repro run --json'"
+    )
+    attack.add_argument("--alpha", type=float, default=0.1)
+    attack.set_defaults(func=_cmd_attack)
+
+    info = subparsers.add_parser("info", help="describe a cohort bundle")
+    info.add_argument("--cohort", required=True)
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Configuration objects for GenDPR studies.
+
+The thresholds mirror the SecureGenome settings the paper adopts in its
+evaluation (Section 7): MAF cut-off 0.05, LD cut-off 1e-5 (p-value on the
+r-squared statistic), false-positive rate 0.1 and identification-power
+threshold 0.9 for the likelihood-ratio test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .errors import CollusionConfigError, ConfigError
+
+#: SecureGenome defaults used throughout the paper's evaluation.
+DEFAULT_MAF_CUTOFF = 0.05
+DEFAULT_LD_CUTOFF = 1e-5
+DEFAULT_FALSE_POSITIVE_RATE = 0.1
+DEFAULT_POWER_THRESHOLD = 0.9
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class PrivacyThresholds:
+    """Cut-off parameters for the three verification phases.
+
+    Attributes:
+        maf_cutoff: minimum global minor-allele frequency for a SNP to be
+            retained in Phase 1.  SNPs rarer than this form characteristic
+            outliers exploitable by membership attacks.
+        ld_cutoff: p-value threshold on the pairwise r-squared statistic in
+            Phase 2.  A p-value *below* the cut-off marks the pair as
+            dependent (high LD), so only the better chi-squared-ranked SNP
+            of the pair is kept.
+        false_positive_rate: tolerated false-positive rate (alpha) of the
+            LR-test membership detector in Phase 3.
+        power_threshold: maximum tolerated identification power (beta) of
+            that detector; the released subset must keep empirical power
+            below this value.
+    """
+
+    maf_cutoff: float = DEFAULT_MAF_CUTOFF
+    ld_cutoff: float = DEFAULT_LD_CUTOFF
+    false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE
+    power_threshold: float = DEFAULT_POWER_THRESHOLD
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.maf_cutoff < 0.5, "maf_cutoff must be in [0, 0.5)")
+        _require(0.0 < self.ld_cutoff < 1.0, "ld_cutoff must be in (0, 1)")
+        _require(
+            0.0 < self.false_positive_rate < 1.0,
+            "false_positive_rate must be in (0, 1)",
+        )
+        _require(
+            0.0 < self.power_threshold <= 1.0,
+            "power_threshold must be in (0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class CollusionPolicy:
+    """How many honest-but-curious colluders the federation tolerates.
+
+    ``f_values`` lists every collusion size the verification must survive.
+    The paper's static setting corresponds to a single value (``f=2``) while
+    the conservative mode enumerates ``f = 1 .. G-1``.  ``f = 0`` (the empty
+    tuple) disables collusion tolerance.
+    """
+
+    f_values: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for f in self.f_values:
+            if f < 0:
+                raise CollusionConfigError("collusion sizes must be non-negative")
+        if len(set(self.f_values)) != len(self.f_values):
+            raise CollusionConfigError("duplicate collusion sizes")
+
+    @classmethod
+    def none(cls) -> "CollusionPolicy":
+        """No collusion tolerance (the paper's ``f = 0`` experiments)."""
+        return cls(())
+
+    @classmethod
+    def static(cls, f: int) -> "CollusionPolicy":
+        """Tolerate exactly ``f`` colluders (paper's ``f = k`` rows)."""
+        if f <= 0:
+            raise CollusionConfigError("static collusion size must be positive")
+        return cls((f,))
+
+    @classmethod
+    def conservative(cls, num_members: int) -> "CollusionPolicy":
+        """Tolerate every possible collusion, ``f = {1, ..., G-1}``."""
+        if num_members < 2:
+            raise CollusionConfigError(
+                "conservative policy needs at least two federation members"
+            )
+        return cls(tuple(range(1, num_members)))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.f_values)
+
+    def validate_for(self, num_members: int) -> None:
+        """Check every requested ``f`` is feasible for ``num_members`` GDOs."""
+        for f in self.f_values:
+            if f >= num_members:
+                raise CollusionConfigError(
+                    f"cannot tolerate f={f} colluders among G={num_members} members"
+                )
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Full configuration of one GenDPR study.
+
+    Attributes:
+        snp_count: size of the desired SNP set ``L_des``.
+        thresholds: privacy cut-offs for the three phases.
+        collusion: collusion-tolerance policy.
+        seed: seed for the protocol's randomness (leader election).  The
+            genomic data carries its own seed; this one only drives
+            protocol-level choices so runs are reproducible.
+        study_id: free-form identifier included in protocol messages.
+    """
+
+    snp_count: int
+    thresholds: PrivacyThresholds = field(default_factory=PrivacyThresholds)
+    collusion: CollusionPolicy = field(default_factory=CollusionPolicy.none)
+    seed: int = 0
+    study_id: str = "study-0"
+
+    def __post_init__(self) -> None:
+        _require(self.snp_count > 0, "snp_count must be positive")
+        _require(bool(self.study_id), "study_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Latency/bandwidth model of the simulated inter-site network.
+
+    The defaults model a wide-area research network; the zero profile is
+    used when the benchmarks measure pure computation.
+    """
+
+    latency_s: float = 0.0
+    bandwidth_bytes_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(self.latency_s >= 0.0, "latency must be non-negative")
+        if self.bandwidth_bytes_per_s is not None:
+            _require(self.bandwidth_bytes_per_s > 0, "bandwidth must be positive")
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Simulated seconds to move ``num_bytes`` across one link."""
+        time = self.latency_s
+        if self.bandwidth_bytes_per_s is not None:
+            time += num_bytes / self.bandwidth_bytes_per_s
+        return time
+
+
+def equal_partition_sizes(total: int, parts: int) -> Sequence[int]:
+    """Sizes of an as-equal-as-possible split of ``total`` into ``parts``.
+
+    The paper divides genomes equally among federation members; when the
+    division is not exact the first ``total % parts`` members receive one
+    extra genome.
+    """
+    if parts <= 0:
+        raise ConfigError("parts must be positive")
+    if total < 0:
+        raise ConfigError("total must be non-negative")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]

@@ -1,0 +1,112 @@
+"""Egress auditing: verifying that no genome ever leaves its premises.
+
+GenDPR's core regulatory claim is that "no raw genomic information gets
+exchanged" (Section 4).  The enclaves keep an audit trail of every
+logical payload they export (kind, size, genotype rows); this module
+turns those trails plus the network's traffic matrix into a verdict the
+tests and examples assert on:
+
+* every outbound payload kind must belong to the protocol's allowed
+  vocabulary (summaries, moments, LR matrices, retained lists), and
+* no payload may carry genotype rows — by construction only the
+  centralized baseline's ``genomes`` export does, which is exactly the
+  contrast the audit demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import MembershipLeakError
+from .federation import Federation
+
+#: Payload kinds the GenDPR protocol is allowed to emit between sites.
+ALLOWED_KINDS = frozenset({"summary", "ld", "lr", "retained"})
+
+
+@dataclass(frozen=True)
+class EgressRecord:
+    """One exported payload, as recorded by the emitting enclave."""
+
+    sender: str
+    peer: str
+    kind: str
+    plaintext_bytes: int
+    genotype_rows: int
+
+
+@dataclass
+class AuditReport:
+    """Aggregated egress audit of one protocol run."""
+
+    records: List[EgressRecord] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_plaintext_bytes(self) -> int:
+        return sum(r.plaintext_bytes for r in self.records)
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + record.plaintext_bytes
+        return out
+
+    def raise_on_violation(self) -> None:
+        if self.violations:
+            raise MembershipLeakError("; ".join(self.violations))
+
+
+def audit_federation(federation: Federation) -> AuditReport:
+    """Audit every enclave's egress log after a protocol run."""
+    report = AuditReport()
+    for gdo_id, enclave in federation.enclaves.items():
+        for entry in enclave.ecall("export_audit_log", label="audit"):
+            record = EgressRecord(
+                sender=gdo_id,
+                peer=str(entry["peer"]),
+                kind=str(entry["kind"]),
+                plaintext_bytes=int(entry["plaintext_bytes"]),
+                genotype_rows=int(entry["genotype_rows"]),
+            )
+            report.records.append(record)
+            if record.kind not in ALLOWED_KINDS:
+                report.violations.append(
+                    f"{gdo_id} exported disallowed payload kind "
+                    f"{record.kind!r} to {record.peer}"
+                )
+            if record.genotype_rows > 0:
+                report.violations.append(
+                    f"{gdo_id} exported {record.genotype_rows} genome rows "
+                    f"to {record.peer}"
+                )
+    return report
+
+
+def genome_egress_savings(
+    federation: Federation, l_des: int
+) -> Dict[str, int]:
+    """Bytes GenDPR avoided shipping versus genome outsourcing.
+
+    The paper sizes the avoided transfer as ``2 * L_des`` bits per
+    genome (two bits per SNP position in their encoding); we report
+    both that figure and this implementation's one-byte-per-genotype
+    encoding for comparison.
+    """
+    total_genomes = sum(
+        host.store.num_rows
+        for host in federation.hosts.values()
+        if host.store is not None
+    )
+    actual = federation.network.total_stats().wire_bytes
+    return {
+        "genomes_in_federation": total_genomes,
+        "paper_encoding_avoided_bytes": (2 * l_des * total_genomes) // 8,
+        "byte_encoding_avoided_bytes": l_des * total_genomes,
+        "actual_protocol_bytes": actual,
+    }

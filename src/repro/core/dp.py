@@ -1,0 +1,77 @@
+"""Differential-privacy mechanisms for the hybrid release.
+
+Section 5.5 sketches an extension: release the SNPs in ``L_safe``
+noise-free and the *complement* ``L_des \\ L_safe`` with DP
+perturbation, so every desired SNP position gets some statistic out.
+
+This module provides the Laplace machinery for that hybrid: allele
+counts have L1 sensitivity 1 (one individual's participation changes a
+minor-allele count by at most one), so counts are released through
+``Laplace(1/epsilon)`` noise and downstream statistics (frequencies,
+chi-squared) are recomputed from the noisy counts — the standard
+post-processing-safe construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Changing one individual's genotype vector changes each per-SNP count
+#: by at most one.
+COUNT_SENSITIVITY = 1.0
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Laplace noise calibrated to a per-query epsilon."""
+
+    epsilon: float
+    sensitivity: float = COUNT_SENSITIVITY
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigError("epsilon must be positive")
+        if self.sensitivity <= 0:
+            raise ConfigError("sensitivity must be positive")
+
+    @property
+    def scale(self) -> float:
+        return self.sensitivity / self.epsilon
+
+    def perturb(self, values: np.ndarray) -> np.ndarray:
+        """Add i.i.d. Laplace noise to ``values`` (deterministic in seed)."""
+        rng = np.random.Generator(np.random.PCG64(self.seed))
+        array = np.asarray(values, dtype=np.float64)
+        return array + rng.laplace(0.0, self.scale, size=array.shape)
+
+    def perturb_counts(self, counts: np.ndarray, upper: int) -> np.ndarray:
+        """Noise counts and clamp into the valid ``[0, upper]`` range.
+
+        Clamping is post-processing and preserves the DP guarantee.
+        """
+        if upper <= 0:
+            raise ConfigError("count upper bound must be positive")
+        return np.clip(self.perturb(counts), 0.0, float(upper))
+
+
+def epsilon_for_frequency_error(
+    target_error: float, num_individuals: int, confidence: float = 0.95
+) -> float:
+    """Epsilon needed so the frequency error stays below ``target_error``.
+
+    Inverts P(|Laplace(1/(eps*N))| > t) = exp(-eps*N*t) <= 1-confidence,
+    the utility planning rule a study designer would use before opting
+    into the hybrid release.
+    """
+    if not 0 < target_error < 1:
+        raise ConfigError("target_error must be in (0, 1)")
+    if not 0 < confidence < 1:
+        raise ConfigError("confidence must be in (0, 1)")
+    if num_individuals <= 0:
+        raise ConfigError("num_individuals must be positive")
+    return float(-np.log(1.0 - confidence) / (target_error * num_individuals))

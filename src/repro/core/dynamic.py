@@ -1,0 +1,229 @@
+"""Dynamic federated studies: re-assessment as genomes arrive.
+
+GenDPR builds on DyPS's setting, where GWAS are "computed in a federated
+and dynamic manner, i.e., as soon as new genomes become available"
+(Section 2.2).  This module provides that dynamic driver on top of the
+one-shot protocol:
+
+* members contribute case-genome **batches** over time,
+* at each epoch close the federation re-runs the full three-phase
+  verification over everything accumulated so far (fresh attested
+  session per epoch — keys are never reused across assessment rounds),
+* releases are gated on a minimum cohort size (tiny early cohorts are
+  trivially identifiable, so nothing is published below the floor), and
+* a release ledger tracks churn: SNPs newly released, still released,
+  and *revoked* — previously published SNPs that the larger cohort now
+  deems unsafe.  Revocations are the dynamic setting's interdependence
+  hazard (the I-GWAS problem): an already-public statistic cannot be
+  unpublished, so the ledger surfaces them for the federation's
+  governance process instead of silently dropping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import StudyConfig
+from ..errors import ProtocolError
+from ..genomics.genotype import GenotypeMatrix
+from ..genomics.partition import LocalDataset
+from ..genomics.population import Cohort
+from ..genomics.snp import SnpPanel
+from .federation import build_federation
+from .interdependent import assess_interdependent_release
+from .phases import StudyResult
+from .protocol import GenDPRProtocol
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Outcome of one dynamic assessment round."""
+
+    epoch: int
+    total_case_genomes: int
+    assessed: bool
+    result: Optional[StudyResult]
+    newly_released: Tuple[int, ...] = ()
+    still_released: Tuple[int, ...] = ()
+    revoked: Tuple[int, ...] = ()
+
+    @property
+    def released(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.newly_released) | set(self.still_released)))
+
+
+class DynamicStudy:
+    """Drives repeated GenDPR assessments over a growing cohort."""
+
+    def __init__(
+        self,
+        panel: SnpPanel,
+        reference: GenotypeMatrix,
+        config: StudyConfig,
+        member_ids: List[str],
+        *,
+        min_cohort_size: int = 100,
+        interdependent: bool = False,
+    ):
+        """Args:
+            interdependent: when True, each epoch's new release is gated
+                on the *cumulative* exposure of everything published in
+                earlier epochs (see :mod:`repro.core.interdependent`):
+                published SNPs never leave the ledger, and new SNPs are
+                admitted only while the combined detector power stays
+                below the study's threshold.
+        """
+        if reference.num_snps != len(panel):
+            raise ProtocolError("reference does not cover the study panel")
+        if config.snp_count != len(panel):
+            raise ProtocolError("config does not cover the study panel")
+        if not member_ids:
+            raise ProtocolError("a dynamic study needs at least one member")
+        if len(set(member_ids)) != len(member_ids):
+            raise ProtocolError("duplicate member ids")
+        if min_cohort_size < 1:
+            raise ProtocolError("min_cohort_size must be positive")
+        self._panel = panel
+        self._reference = reference
+        self._config = config
+        self._member_ids = sorted(member_ids)
+        self._min_cohort_size = min_cohort_size
+        self._shards: Dict[str, List[GenotypeMatrix]] = {
+            member: [] for member in self._member_ids
+        }
+        self._pending: Dict[str, List[GenotypeMatrix]] = {
+            member: [] for member in self._member_ids
+        }
+        self._epoch = 0
+        self._released: set = set()
+        self._interdependent = interdependent
+        self.history: List[EpochReport] = []
+
+    # -- Data arrival -----------------------------------------------------------
+
+    def submit_batch(self, member_id: str, genomes: GenotypeMatrix) -> None:
+        """Queue a new batch of case genomes at a member's premises.
+
+        The batch participates from the *next* epoch close; data never
+        leaves the member (the epoch's federation seals it locally).
+        """
+        if member_id not in self._pending:
+            raise ProtocolError(f"unknown member {member_id!r}")
+        if genomes.num_snps != len(self._panel):
+            raise ProtocolError("batch does not cover the study panel")
+        if genomes.num_individuals == 0:
+            raise ProtocolError("batch is empty")
+        self._pending[member_id].append(genomes)
+
+    @property
+    def total_case_genomes(self) -> int:
+        """Genomes that would participate if an epoch closed now."""
+        return sum(
+            matrix.num_individuals
+            for member in self._member_ids
+            for matrix in self._shards[member] + self._pending[member]
+        )
+
+    @property
+    def released_snps(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._released))
+
+    # -- Epochs -----------------------------------------------------------------
+
+    def _member_dataset(self, member_id: str) -> Optional[LocalDataset]:
+        matrices = self._shards[member_id]
+        if not matrices:
+            return None
+        return LocalDataset(
+            gdo_id=member_id, case=GenotypeMatrix.vstack(matrices)
+        )
+
+    def close_epoch(self) -> EpochReport:
+        """Absorb pending batches and re-run the verification.
+
+        Returns the epoch report; when the accumulated cohort is below
+        the minimum size the assessment is skipped (``assessed=False``)
+        and nothing is released.
+        """
+        self._epoch += 1
+        for member in self._member_ids:
+            self._shards[member].extend(self._pending[member])
+            self._pending[member] = []
+
+        datasets = [
+            dataset
+            for member in self._member_ids
+            if (dataset := self._member_dataset(member)) is not None
+        ]
+        total = sum(d.num_case for d in datasets)
+        if not datasets or total < self._min_cohort_size:
+            report = EpochReport(
+                epoch=self._epoch,
+                total_case_genomes=total,
+                assessed=False,
+                result=None,
+                still_released=tuple(sorted(self._released)),
+            )
+            self.history.append(report)
+            return report
+
+        case = GenotypeMatrix.vstack([d.case for d in datasets])
+        cohort = Cohort(
+            panel=self._panel,
+            case=case,
+            control=self._reference,
+            reference=self._reference,
+        )
+        config = StudyConfig(
+            snp_count=self._config.snp_count,
+            thresholds=self._config.thresholds,
+            collusion=self._config.collusion,
+            seed=self._config.seed + self._epoch,
+            study_id=f"{self._config.study_id}/epoch-{self._epoch}",
+        )
+        federation = build_federation(config, datasets, cohort)
+        result = GenDPRProtocol(federation).run()
+
+        safe_now = set(result.l_safe)
+        if self._interdependent:
+            # Published statistics are public forever: new SNPs must be
+            # safe *jointly* with everything already out.
+            assessment = assess_interdependent_release(
+                cohort,
+                sorted(self._released),
+                sorted(safe_now - self._released),
+                alpha=self._config.thresholds.false_positive_rate,
+                beta=self._config.thresholds.power_threshold,
+            )
+            newly = assessment.admitted
+            still = tuple(sorted(self._released))
+            revoked = tuple(sorted(self._released - safe_now))
+            self._released |= set(newly)
+        else:
+            newly = tuple(sorted(safe_now - self._released))
+            still = tuple(sorted(safe_now & self._released))
+            revoked = tuple(sorted(self._released - safe_now))
+            self._released = set(still) | set(newly)
+        report = EpochReport(
+            epoch=self._epoch,
+            total_case_genomes=total,
+            assessed=True,
+            result=result,
+            newly_released=newly,
+            still_released=still,
+            revoked=revoked,
+        )
+        self.history.append(report)
+        return report
+
+    def revocation_exposure(self) -> Tuple[int, ...]:
+        """Every SNP that was ever published and later deemed unsafe.
+
+        These statistics are already in the world; the federation's
+        governance (or a DP-perturbed re-release) has to deal with them.
+        """
+        exposed: set = set()
+        for report in self.history:
+            exposed |= set(report.revoked)
+        return tuple(sorted(exposed))

@@ -1,0 +1,1074 @@
+"""GenDPR's trusted module.
+
+One enclave class implements both roles of Figure 2 — the member-side
+modules (MAF/LD/LR-test "phase trusted modules") and the leader-side
+coordination module.  Deploying a single trusted codebase everywhere is
+what lets every pair of enclaves mutually attest to the *same*
+measurement; which instance acts as leader is decided by the random
+election, not by code identity.
+
+Untrusted hosts interact with this class exclusively through ECALLs.
+Leader-side ECALLs receive an ``ocall`` callable through which the
+enclave asks the host to exchange encrypted frames with other members —
+the SGX OCALL pattern: the host is a blind router, all payloads cross
+it AEAD-protected under channel keys only enclaves hold.
+
+Data flow per phase (paper Sections 5.3-5.5):
+
+* **Summaries** — members answer with their case size and allele-count
+  vector over ``L_des``.
+* **Phase 1 (MAF)** — leader-local: aggregate counts, filter on folded
+  global MAF, intersect across collusion combinations.
+* **Phase 2 (LD)** — leader walks adjacent pairs of the retained list,
+  requesting the five correlation sums per pair from every member,
+  aggregating them with its own and the reference set's, and keeping
+  the better chi-squared-ranked SNP of each dependent pair.
+* **Phase 3 (LR-test)** — leader broadcasts the global case/reference
+  frequency vectors (per combination), members return local LR
+  matrices, the leader merges them with its own and the reference
+  matrix and runs the empirical safe-subset search.
+
+Collusion tolerance (Section 5.6) runs every phase over all
+``C(G, G-f)`` honest-member combinations and intersects the outcomes;
+the full-federation combination (f = 0) is always included so the
+release is also safe against purely external adversaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PhaseOrderError, ProtocolError, TEEError
+from ..genomics.vcf import SignedMatrix, SignedVcf
+from ..net import serialization
+from ..stats import chisq, ld, lr_test, maf
+from ..tee.channel import ChannelEndpoint
+from ..tee.enclave import Enclave, ecall
+from ..tee.sealing import SealedBlob, seal, unseal
+from ..tee.storage import ColumnReader, SealedColumnStore, seal_matrix
+from ..crypto.signing import MacSigner
+from . import pipeline
+
+#: Host-routed exchange: {peer_id: request_frame} -> {peer_id: response_frame}.
+OcallExchange = Callable[[str, Dict[str, bytes]], Dict[str, bytes]]
+
+#: Width of the sliding pair window prefetched in one round before the LD
+#: walk starts: pair (i, j) is prefetched when j - i <= _LD_WINDOW.
+_LD_WINDOW = 8
+#: Speculative pairs fetched per on-demand round when the walk needs a
+#: pair outside the prefetched window (a candidate outliving a block).
+_LD_LOOKAHEAD = 32
+
+_STAGES = ("prime", "double_prime", "safe")
+
+
+class GenDPREnclave(Enclave):
+    """The federation's trusted module (member + leader roles)."""
+
+    CODE_VERSION = "1"
+
+    def __init__(
+        self,
+        platform_key: bytes,
+        enclave_id: str,
+        data_auth_key: bytes,
+        rng=None,
+    ):
+        super().__init__(platform_key, enclave_id, rng=rng)
+        self._data_signer = MacSigner(data_auth_key, purpose="vcf-dataset")
+        self._channels: Dict[str, ChannelEndpoint] = {}
+        self._study: Optional[Dict[str, Any]] = None
+        self._combos: List[Tuple[str, int, Tuple[str, ...]]] = []
+        # Local dataset metadata (the sealed chunks live with the host).
+        self._local_rows = 0
+        self._local_cols = 0
+        # Leader aggregation state.
+        self._member_counts: Dict[str, np.ndarray] = {}
+        self._member_sizes: Dict[str, int] = {}
+        self._reference_counts: Optional[np.ndarray] = None
+        self._reference_rows = 0
+        self._combo_counts: Dict[str, np.ndarray] = {}
+        self._combo_sizes: Dict[str, int] = {}
+        self._ranking_cache: Dict[str, np.ndarray] = {}
+        self._member_pair_moments: Dict[Tuple[str, int, int], ld.PairMoments] = {}
+        self._local_pair_moments: Dict[Tuple[int, int], ld.PairMoments] = {}
+        self._reference_pair_moments: Dict[Tuple[int, int], ld.PairMoments] = {}
+        #: Pairs whose moments are cached for every party (fast-path check).
+        self._ld_cached: set = set()
+        # Plain (collusion-oblivious) track, kept alongside the tolerant
+        # pipeline so Table 5 can report what collusion tolerance withheld.
+        self._plain_retained: Dict[str, List[int]] = {}
+        self._retained: Dict[str, List[int]] = {}
+        self._combo_safe: Dict[str, Tuple[int, ...]] = {}
+        self._release_power = 0.0
+        self._lr_request_counter = 0
+        # Member-side record of leader broadcasts.
+        self._received_retained: Dict[str, List[int]] = {}
+        # Outbound payload audit trail (kind, peer, bytes, genotype_rows).
+        self._audit_log: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Trusted provisioning (attestation-time, not host-callable ECALLs)
+    # ------------------------------------------------------------------
+
+    def install_channel(self, endpoint: ChannelEndpoint) -> None:
+        """Install an attested channel endpoint.
+
+        Called by the federation setup immediately after
+        :func:`repro.tee.channel.establish_channel`; conceptually this
+        happens inside the attestation ceremony, never across the
+        untrusted ECALL boundary.
+        """
+        if endpoint.local_id != self.enclave_id:
+            raise TEEError("endpoint does not belong to this enclave")
+        self._channels[endpoint.peer_id] = endpoint
+
+    @classmethod
+    def trusted_state_names(cls) -> set:
+        return super().trusted_state_names() | {
+            "_channels",
+            "_data_signer",
+            "_member_counts",
+            "_member_pair_moments",
+        }
+
+    # ------------------------------------------------------------------
+    # Framing helpers
+    # ------------------------------------------------------------------
+
+    def _channel(self, peer: str) -> ChannelEndpoint:
+        try:
+            return self._channels[peer]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.enclave_id} has no attested channel to {peer}"
+            ) from None
+
+    def _protect(self, peer: str, kind: str, payload: Any) -> bytes:
+        raw = serialization.encode(payload)
+        self._audit_log.append(
+            {
+                "peer": peer,
+                "kind": kind,
+                "plaintext_bytes": len(raw),
+                "genotype_rows": 0,
+            }
+        )
+        return self._channel(peer).protect(raw, kind=kind.encode("utf-8"))
+
+    def _open(self, peer: str, kind: str, frame: bytes) -> Any:
+        raw = self._channel(peer).open(frame, kind=kind.encode("utf-8"))
+        return serialization.decode(raw)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @ecall
+    def configure(self, params: Dict[str, Any]) -> None:
+        """Fix the study parameters (thresholds, members, leader, f values)."""
+        required = {
+            "study_id",
+            "snp_count",
+            "maf_cutoff",
+            "ld_cutoff",
+            "alpha",
+            "beta",
+            "member_ids",
+            "leader_id",
+            "f_values",
+        }
+        missing = required - set(params)
+        if missing:
+            raise ProtocolError(f"study configuration misses {sorted(missing)}")
+        members = sorted(params["member_ids"])
+        if params["leader_id"] not in members:
+            raise ProtocolError("leader must be a federation member")
+        if self.enclave_id not in members:
+            raise ProtocolError(
+                f"{self.enclave_id} is not part of this federation"
+            )
+        self._study = dict(params, member_ids=members)
+        self._combos = self._build_combinations(members, list(params["f_values"]))
+
+    @staticmethod
+    def _build_combinations(
+        members: List[str], f_values: List[int]
+    ) -> List[Tuple[str, int, Tuple[str, ...]]]:
+        """All honest-subset combinations to verify, f=0 first."""
+        combos: List[Tuple[str, int, Tuple[str, ...]]] = [
+            ("f0", 0, tuple(members))
+        ]
+        for f in sorted(set(f_values)):
+            if f <= 0:
+                continue
+            if f >= len(members):
+                raise ProtocolError(
+                    f"cannot tolerate f={f} among G={len(members)} members"
+                )
+            for subset in itertools.combinations(members, len(members) - f):
+                combos.append((f"f{f}:" + "+".join(subset), f, subset))
+        return combos
+
+    def _config(self) -> Dict[str, Any]:
+        if self._study is None:
+            raise PhaseOrderError("enclave is not configured")
+        return self._study
+
+    @property
+    def is_leader(self) -> bool:
+        return self._config()["leader_id"] == self.enclave_id
+
+    # ------------------------------------------------------------------
+    # Dataset loading
+    # ------------------------------------------------------------------
+
+    @ecall
+    def load_local_dataset(self, signed_dataset) -> SealedColumnStore:
+        """Verify a signed local dataset and seal it for streaming access.
+
+        Accepts either a :class:`SignedVcf` (text interchange) or a
+        :class:`SignedMatrix` (binary fast path); both carry the
+        authenticity signature the trusted module checks per the threat
+        model.  The sealed store is returned to the host (sealed data
+        lives on untrusted storage); the enclave retains only the
+        dimensions.
+        """
+        config = self._config()
+        if isinstance(signed_dataset, SignedMatrix):
+            matrix = signed_dataset.open_verified(self._data_signer)
+        elif isinstance(signed_dataset, SignedVcf):
+            _panel, matrix = signed_dataset.open_verified(self._data_signer)
+        else:
+            raise ProtocolError(
+                f"unsupported dataset container {type(signed_dataset).__name__}"
+            )
+        if matrix.num_snps != config["snp_count"]:
+            raise ProtocolError(
+                f"dataset covers {matrix.num_snps} SNPs, study expects "
+                f"{config['snp_count']}"
+            )
+        self._local_rows = matrix.num_individuals
+        self._local_cols = matrix.num_snps
+        return seal_matrix(self, matrix.array(), label="case")
+
+    @ecall
+    def load_reference_matrix(
+        self, raw: bytes, num_rows: int
+    ) -> SealedColumnStore:
+        """Seal the public reference population for streaming access."""
+        config = self._config()
+        num_snps = config["snp_count"]
+        if num_rows <= 0 or len(raw) != num_rows * num_snps:
+            raise ProtocolError("reference matrix has inconsistent size")
+        matrix = np.frombuffer(raw, dtype=np.uint8).reshape(num_rows, num_snps)
+        if matrix.max(initial=0) > 1:
+            raise ProtocolError("reference genotypes must be binary")
+        self._reference_rows = num_rows
+        return seal_matrix(self, matrix, label="reference")
+
+    # ------------------------------------------------------------------
+    # Local computations shared by both roles
+    # ------------------------------------------------------------------
+
+    def _local_counts(self, store: SealedColumnStore) -> np.ndarray:
+        with ColumnReader(self, store) as reader:
+            return reader.column_sums()
+
+    def _local_moments(
+        self, store: SealedColumnStore, pairs: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Five correlation sums per requested pair (rows match input).
+
+        Vectorised: the unique columns are gathered once through the
+        sealed store (one unseal per chunk), then all pair sums are
+        computed as matrix reductions.
+        """
+        if not pairs:
+            return np.zeros((0, 5), dtype=np.int64)
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        unique_columns, inverse = np.unique(pair_array, return_inverse=True)
+        inverse = inverse.reshape(pair_array.shape)
+        with ColumnReader(self, store) as reader:
+            gathered = reader.columns(unique_columns.tolist())
+        buffer_name = f"ld-moments/{id(pairs)}"
+        self.meter.register_buffer(buffer_name, gathered.nbytes)
+        try:
+            out = np.empty((len(pairs), 5), dtype=np.int64)
+            column_sums = gathered.sum(axis=0, dtype=np.int64)
+            out[:, 0] = column_sums[inverse[:, 0]]
+            out[:, 1] = column_sums[inverse[:, 1]]
+            # Joint counts batched to bound the transient working set.
+            batch = 4096
+            for start in range(0, len(pairs), batch):
+                stop = min(start + batch, len(pairs))
+                left = gathered[:, inverse[start:stop, 0]]
+                right = gathered[:, inverse[start:stop, 1]]
+                out[start:stop, 2] = (left & right).sum(axis=0, dtype=np.int64)
+            out[:, 3] = out[:, 0]  # x^2 == x for binary genotypes
+            out[:, 4] = out[:, 1]
+            return out
+        finally:
+            self.meter.release_buffer(buffer_name)
+
+    def _local_lr_matrix(
+        self,
+        store: SealedColumnStore,
+        columns: Sequence[int],
+        case_freqs: np.ndarray,
+        ref_freqs: np.ndarray,
+        buffer_label: str,
+    ) -> np.ndarray:
+        with ColumnReader(self, store) as reader:
+            genotypes = reader.columns(list(columns))
+            self.meter.register_buffer(buffer_label, genotypes.nbytes * 9)
+            try:
+                return lr_test.lr_matrix(genotypes, case_freqs, ref_freqs)
+            finally:
+                self.meter.release_buffer(buffer_label)
+
+    # ------------------------------------------------------------------
+    # Member-side ECALLs (answer leader requests)
+    # ------------------------------------------------------------------
+
+    @ecall
+    def answer_summary(self, store: SealedColumnStore, frame: bytes) -> bytes:
+        """Produce the caseLocalCounts vector and local case size."""
+        config = self._config()
+        leader = config["leader_id"]
+        request = self._open(leader, "summary", frame)
+        if request.get("req") != "summary":
+            raise ProtocolError("malformed summary request")
+        counts = self._local_counts(store)
+        # 32-bit on the wire: counts are bounded by the local population
+        # size, and 4 * L_des bytes is the paper's bandwidth figure.
+        return self._protect(
+            leader,
+            "summary",
+            {"n_case": store.num_rows, "counts": counts.astype(np.int32)},
+        )
+
+    @ecall
+    def answer_ld(self, store: SealedColumnStore, frame: bytes) -> bytes:
+        """Compute local correlation sums for the requested SNP pairs."""
+        leader = self._config()["leader_id"]
+        request = self._open(leader, "ld", frame)
+        pair_array = np.asarray(request["pairs"], dtype=np.int64)
+        if pair_array.ndim != 2 or pair_array.shape[1] != 2:
+            raise ProtocolError("malformed LD pair request")
+        pairs = [(int(l), int(r)) for l, r in pair_array]
+        moments = self._local_moments(store, pairs)
+        return self._protect(
+            leader,
+            "ld",
+            {"req_id": request["req_id"], "moments": moments},
+        )
+
+    @ecall
+    def answer_lr(self, store: SealedColumnStore, frame: bytes) -> bytes:
+        """Build this member's local LR-matrix for one combination."""
+        leader = self._config()["leader_id"]
+        request = self._open(leader, "lr", frame)
+        columns = [int(c) for c in request["columns"]]
+        matrix = self._local_lr_matrix(
+            store,
+            columns,
+            request["case_freqs"],
+            request["ref_freqs"],
+            buffer_label=f"lr-local/{request['req_id']}",
+        )
+        return self._protect(
+            leader,
+            "lr",
+            {"req_id": request["req_id"], "matrix": matrix},
+        )
+
+    @ecall
+    def ingest_retained(self, frame: bytes) -> Dict[str, Any]:
+        """Receive a leader broadcast of a retained SNP list."""
+        leader = self._config()["leader_id"]
+        payload = self._open(leader, "retained", frame)
+        stage = payload["stage"]
+        if stage not in _STAGES:
+            raise ProtocolError(f"unknown broadcast stage {stage!r}")
+        snps = [int(s) for s in payload["snps"]]
+        self._received_retained[stage] = snps
+        return {"stage": stage, "snps": snps}
+
+    @ecall
+    def received_retained(self, stage: str) -> List[int]:
+        """The most recent broadcast list for ``stage`` (member view)."""
+        if stage not in self._received_retained:
+            raise PhaseOrderError(f"no {stage!r} broadcast received yet")
+        return list(self._received_retained[stage])
+
+    # ------------------------------------------------------------------
+    # Leader-side ECALLs
+    # ------------------------------------------------------------------
+
+    def _other_members(self) -> List[str]:
+        config = self._config()
+        return [m for m in config["member_ids"] if m != self.enclave_id]
+
+    def _require_leader(self) -> None:
+        if not self.is_leader:
+            raise ProtocolError(
+                f"{self.enclave_id} is not the elected leader"
+            )
+
+    @ecall
+    def lead_collect_summaries(
+        self,
+        store: SealedColumnStore,
+        ref_store: SealedColumnStore,
+        ocall: OcallExchange,
+    ) -> None:
+        """Gather member summaries and compute leader + reference counts."""
+        self._require_leader()
+        requests = {
+            member: self._protect(member, "summary", {"req": "summary"})
+            for member in self._other_members()
+        }
+        responses = ocall("summary", requests)
+        for member in self._other_members():
+            if member not in responses:
+                raise ProtocolError(f"no summary received from {member}")
+            payload = self._open(member, "summary", responses[member])
+            counts = np.asarray(payload["counts"], dtype=np.int64)
+            n_case = int(payload["n_case"])
+            if counts.shape[0] != self._config()["snp_count"]:
+                raise ProtocolError(f"summary from {member} has wrong width")
+            if np.any(counts < 0) or np.any(counts > n_case):
+                raise ProtocolError(f"summary from {member} is inconsistent")
+            self._member_counts[member] = counts
+            self._member_sizes[member] = n_case
+        # The leader is itself a member: add its own data.
+        self._member_counts[self.enclave_id] = self._local_counts(store)
+        self._member_sizes[self.enclave_id] = store.num_rows
+        with ColumnReader(self, ref_store) as reader:
+            self._reference_counts = reader.column_sums()
+        self._reference_rows = ref_store.num_rows
+
+    def _combo_case_data(self, combo_members: Tuple[str, ...]) -> Tuple[np.ndarray, int]:
+        counts = maf.aggregate_counts(
+            [self._member_counts[m] for m in combo_members]
+        )
+        size = sum(self._member_sizes[m] for m in combo_members)
+        return counts, size
+
+    def _ranking(self, combo_id: str) -> np.ndarray:
+        """Chi-squared ranking p-values of a combination (cached)."""
+        if combo_id not in self._ranking_cache:
+            if self._reference_counts is None:
+                raise PhaseOrderError("summaries not collected yet")
+            counts = self._combo_counts[combo_id]
+            size = self._combo_sizes[combo_id]
+            self._ranking_cache[combo_id] = chisq.rank_pvalues(
+                counts, self._reference_counts, size, self._reference_rows
+            )
+        return self._ranking_cache[combo_id]
+
+    @ecall
+    def lead_run_maf(self) -> List[int]:
+        """Phase 1: global MAF filter, intersected across combinations."""
+        self._require_leader()
+        if self._reference_counts is None:
+            raise PhaseOrderError("summaries must be collected before MAF")
+        config = self._config()
+        survivor_sets: List[set] = []
+        for combo_id, _f, combo_members in self._combos:
+            counts, size = self._combo_case_data(combo_members)
+            self._combo_counts[combo_id] = counts
+            self._combo_sizes[combo_id] = size
+            total = maf.aggregate_counts([counts, self._reference_counts])
+            frequencies = maf.allele_frequencies(
+                total, size + self._reference_rows
+            )
+            survivors = maf.maf_filter(frequencies, config["maf_cutoff"])
+            if combo_id == "f0":
+                # The plain (collusion-oblivious) track: what a federation
+                # without collusion tolerance would have released; Table 5
+                # measures withheld SNPs against this baseline.
+                self._plain_retained["prime"] = list(survivors)
+            survivor_sets.append(set(survivors))
+        retained = sorted(set.intersection(*survivor_sets))
+        self._retained["prime"] = retained
+        return list(retained)
+
+    @ecall
+    def lead_broadcast_retained(self, stage: str, ocall: OcallExchange) -> None:
+        """Broadcast a retained list to every member over the channels."""
+        self._require_leader()
+        if stage not in self._retained:
+            raise PhaseOrderError(f"stage {stage!r} not computed yet")
+        payload = {"stage": stage, "snps": list(self._retained[stage])}
+        frames = {
+            member: self._protect(member, "retained", payload)
+            for member in self._other_members()
+        }
+        ocall("retained", frames)
+
+    # -- Phase 2: LD -----------------------------------------------------------
+
+    def _reference_moments(
+        self, ref_reader: ColumnReader, pair: Tuple[int, int]
+    ) -> ld.PairMoments:
+        if pair not in self._reference_pair_moments:
+            self._reference_moments_batch(ref_reader, [pair])
+        return self._reference_pair_moments[pair]
+
+    def _reference_moments_batch(
+        self, ref_reader: ColumnReader, pairs: Sequence[Tuple[int, int]]
+    ) -> None:
+        """Fill the reference moment cache for many pairs at once."""
+        missing = [p for p in pairs if p not in self._reference_pair_moments]
+        if not missing:
+            return
+        pair_array = np.asarray(missing, dtype=np.int64)
+        unique_columns, inverse = np.unique(pair_array, return_inverse=True)
+        inverse = inverse.reshape(pair_array.shape)
+        gathered = ref_reader.columns(unique_columns.tolist())
+        column_sums = gathered.sum(axis=0, dtype=np.int64)
+        mu_l = column_sums[inverse[:, 0]]
+        mu_r = column_sums[inverse[:, 1]]
+        mu_lr = np.empty(len(missing), dtype=np.int64)
+        batch = 4096
+        for start in range(0, len(missing), batch):
+            stop = min(start + batch, len(missing))
+            left = gathered[:, inverse[start:stop, 0]]
+            right = gathered[:, inverse[start:stop, 1]]
+            mu_lr[start:stop] = (left & right).sum(axis=0, dtype=np.int64)
+        count = ref_reader.num_rows
+        cache = self._reference_pair_moments
+        for pair, l_val, r_val, lr_val in zip(
+            missing, mu_l.tolist(), mu_r.tolist(), mu_lr.tolist()
+        ):
+            cache[pair] = ld.PairMoments(
+                mu_l=l_val,
+                mu_r=r_val,
+                mu_lr=lr_val,
+                mu_l2=l_val,
+                mu_r2=r_val,
+                count=count,
+            )
+
+    def _fetch_moments(
+        self,
+        pairs: List[Tuple[int, int]],
+        store: SealedColumnStore,
+        ref_reader: ColumnReader,
+        ocall: OcallExchange,
+    ) -> None:
+        """One request/response round for pair moments not yet cached."""
+        members = self._other_members()
+        missing = [pair for pair in pairs if pair not in self._ld_cached]
+        if not missing:
+            return
+        self._lr_request_counter += 1
+        request_id = f"ld-{self._lr_request_counter}"
+        payload = {
+            "req_id": request_id,
+            "pairs": np.asarray(missing, dtype=np.int64),
+        }
+        requests = {
+            member: self._protect(member, "ld", payload) for member in members
+        }
+        responses = ocall("ld", requests)
+        for member in members:
+            answer = self._open(member, "ld", responses[member])
+            if answer["req_id"] != request_id:
+                raise ProtocolError(f"stale LD response from {member}")
+            moments = np.asarray(answer["moments"], dtype=np.int64)
+            if moments.shape != (len(missing), 5):
+                raise ProtocolError(f"malformed LD response from {member}")
+            size = self._member_sizes[member]
+            # Untrusted peer input: validate the whole batch vectorised.
+            if moments.min(initial=0) < 0 or moments.max(initial=0) > size:
+                raise ProtocolError(
+                    f"LD moments from {member} are inconsistent with its "
+                    f"declared population size"
+                )
+            member_cache = self._member_pair_moments
+            for pair, values in zip(missing, moments.tolist()):
+                member_cache[(member, *pair)] = ld.PairMoments(
+                    *values, count=size
+                )
+        local = self._local_moments(store, missing)
+        local_rows = store.num_rows
+        local_cache = self._local_pair_moments
+        for pair, values in zip(missing, local.tolist()):
+            local_cache[pair] = ld.PairMoments(*values, count=local_rows)
+        self._reference_moments_batch(ref_reader, missing)
+        self._ld_cached.update(missing)
+
+    def _combo_moments(
+        self,
+        combo_members: Tuple[str, ...],
+        pair: Tuple[int, int],
+        ref_reader: ColumnReader,
+    ) -> ld.PairMoments:
+        """Pooled moments of a pair for one combination (case + reference)."""
+        total = self._reference_moments(ref_reader, pair)
+        for member in combo_members:
+            if member == self.enclave_id:
+                total = total + self._local_pair_moments[pair]
+            else:
+                total = total + self._member_pair_moments[(member, *pair)]
+        return total
+
+    @ecall
+    def lead_run_ld(
+        self,
+        store: SealedColumnStore,
+        ref_store: SealedColumnStore,
+        ocall: OcallExchange,
+    ) -> List[int]:
+        """Phase 2: greedy adjacent-pair LD pruning per combination."""
+        self._require_leader()
+        if "prime" not in self._retained:
+            raise PhaseOrderError("MAF phase has not run")
+        config = self._config()
+        l_prime = self._retained["prime"]
+        cutoff = config["ld_cutoff"]
+        survivor_sets: List[set] = []
+        with ColumnReader(self, ref_store) as ref_reader:
+            for combo_id, _f, combo_members in self._combos:
+                survivor_sets.append(
+                    set(
+                        self._ld_greedy(
+                            combo_id,
+                            combo_members,
+                            l_prime,
+                            cutoff,
+                            store,
+                            ref_reader,
+                            ocall,
+                        )
+                    )
+                )
+            if len(self._combos) > 1:
+                # Plain track: the f0 walk over the un-intersected list.
+                full_members = self._combos[0][2]
+                self._plain_retained["double_prime"] = self._ld_greedy(
+                    "f0",
+                    full_members,
+                    self._plain_retained["prime"],
+                    cutoff,
+                    store,
+                    ref_reader,
+                    ocall,
+                )
+        retained = sorted(set.intersection(*survivor_sets))
+        self._retained["double_prime"] = retained
+        if len(self._combos) == 1:
+            self._plain_retained["double_prime"] = list(retained)
+        return list(retained)
+
+    def _ld_greedy(
+        self,
+        combo_id: str,
+        combo_members: Tuple[str, ...],
+        l_prime: List[int],
+        cutoff: float,
+        store: SealedColumnStore,
+        ref_reader: ColumnReader,
+        ocall: OcallExchange,
+    ) -> List[int]:
+        """Run the shared LD walk for one combination.
+
+        The decision logic is :func:`repro.core.pipeline.ld_prune` —
+        identical to the baselines'; only the moment *source* differs:
+        here, missing pair moments are fetched from member enclaves in
+        speculative batches (same decisions, fewer rounds than strictly
+        per-pair exchange).
+        """
+        if not l_prime:
+            return []
+        if len(l_prime) == 1:
+            return list(l_prime)
+        # The chi-squared ranking that breaks dependent pairs is the
+        # *study's* ranking (paper: getMostRanked(l, l+1, s)) — utility
+        # ordering is a property of the study, computed over the full
+        # federation, while the privacy decisions below remain
+        # per-combination.
+        ranking = self._ranking("f0")
+        # Prefetch a sliding window of pairs in a single round: the walk
+        # only ever compares SNPs whose positions are close unless one
+        # candidate outlives a whole LD block, so a small window covers
+        # almost every comparison and stragglers fall back to on-demand
+        # lookahead rounds below.
+        window = [
+            (l_prime[i], l_prime[j])
+            for i in range(len(l_prime) - 1)
+            for j in range(i + 1, min(i + 1 + _LD_WINDOW, len(l_prime)))
+        ]
+        self._fetch_moments(window, store, ref_reader, ocall)
+
+        def get_moments(left: int, right: int, position: int) -> ld.PairMoments:
+            pair = (left, right)
+            if pair not in self._ld_cached:
+                lookahead = [
+                    (left, l_prime[j])
+                    for j in range(
+                        position, min(position + _LD_LOOKAHEAD, len(l_prime))
+                    )
+                ]
+                self._fetch_moments(lookahead, store, ref_reader, ocall)
+            return self._combo_moments(combo_members, pair, ref_reader)
+
+        return pipeline.ld_prune(l_prime, ranking, get_moments, cutoff)
+
+    # -- Phase 3: LR-test ------------------------------------------------------
+
+    @ecall
+    def lead_run_lr(
+        self,
+        store: SealedColumnStore,
+        ref_store: SealedColumnStore,
+        ocall: OcallExchange,
+    ) -> List[int]:
+        """Phase 3: distributed LR-test, intersected across combinations."""
+        self._require_leader()
+        if "double_prime" not in self._retained:
+            raise PhaseOrderError("LD phase has not run")
+        config = self._config()
+        columns = self._retained["double_prime"]
+        alpha, beta = config["alpha"], config["beta"]
+        if not columns:
+            self._retained["safe"] = []
+            self._release_power = 0.0
+            self._run_plain_lr(store, ref_store, ocall, alpha, beta)
+            return []
+        full_case_matrix: Optional[np.ndarray] = None
+        full_ref_matrix: Optional[np.ndarray] = None
+        survivor_sets: List[set] = []
+        with ColumnReader(self, ref_store) as ref_reader:
+            ref_genotypes = ref_reader.columns(columns)
+        for combo_id, _f, combo_members in self._combos:
+            case_matrix, ref_matrix = self._combo_lr_matrices(
+                combo_id, combo_members, columns, store, ref_genotypes, ocall
+            )
+            order = pipeline.lr_ranking_order(columns, self._ranking("f0"))
+            selection = lr_test.select_safe_subset(
+                case_matrix, ref_matrix, order, alpha=alpha, beta=beta
+            )
+            safe = tuple(
+                sorted(columns[c] for c in selection.selected_columns)
+            )
+            self._combo_safe[combo_id] = safe
+            survivor_sets.append(set(safe))
+            if combo_id == "f0":
+                full_case_matrix = case_matrix
+                full_ref_matrix = ref_matrix
+        safe_final = sorted(set.intersection(*survivor_sets))
+        self._retained["safe"] = safe_final
+        # Residual power of the actually-released set under the full data.
+        if safe_final and full_case_matrix is not None:
+            positions = [columns.index(s) for s in safe_final]
+            self._release_power = lr_test.empirical_power(
+                lr_test.lr_scores(full_case_matrix, positions),
+                lr_test.lr_scores(full_ref_matrix, positions),
+                alpha,
+            )
+        else:
+            self._release_power = 0.0
+        self.meter.release_buffer("lr-merged")
+        if len(self._combos) == 1:
+            self._plain_retained["safe"] = list(safe_final)
+        else:
+            self._run_plain_lr(store, ref_store, ocall, alpha, beta)
+        return list(safe_final)
+
+    def _run_plain_lr(
+        self,
+        store: SealedColumnStore,
+        ref_store: SealedColumnStore,
+        ocall: OcallExchange,
+        alpha: float,
+        beta: float,
+    ) -> None:
+        """LR-test of the plain (collusion-oblivious) track.
+
+        Runs the full-federation selection over the *un-intersected*
+        Phase 2 survivors, producing the release a federation without
+        collusion tolerance would have made — the Table 5 baseline.
+        """
+        if len(self._combos) == 1:
+            self._plain_retained["safe"] = list(self._retained.get("safe", []))
+            return
+        plain_columns = self._plain_retained.get("double_prime", [])
+        if not plain_columns:
+            self._plain_retained["safe"] = []
+            return
+        with ColumnReader(self, ref_store) as ref_reader:
+            ref_genotypes = ref_reader.columns(plain_columns)
+        full_members = self._combos[0][2]
+        case_matrix, ref_matrix = self._combo_lr_matrices(
+            "f0", full_members, plain_columns, store, ref_genotypes, ocall
+        )
+        order = pipeline.lr_ranking_order(plain_columns, self._ranking("f0"))
+        selection = lr_test.select_safe_subset(
+            case_matrix, ref_matrix, order, alpha=alpha, beta=beta
+        )
+        self._plain_retained["safe"] = sorted(
+            plain_columns[c] for c in selection.selected_columns
+        )
+        self.meter.release_buffer("lr-merged")
+
+    def _combo_lr_matrices(
+        self,
+        combo_id: str,
+        combo_members: Tuple[str, ...],
+        columns: List[int],
+        store: SealedColumnStore,
+        ref_genotypes: np.ndarray,
+        ocall: OcallExchange,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Broadcast combo frequencies, gather and merge LR matrices."""
+        case_freqs = (
+            self._combo_counts[combo_id][columns].astype(np.float64)
+            / self._combo_sizes[combo_id]
+        )
+        ref_freqs = (
+            self._reference_counts[columns].astype(np.float64)
+            / self._reference_rows
+        )
+        self._lr_request_counter += 1
+        request_id = f"lr-{self._lr_request_counter}"
+        payload = {
+            "req_id": request_id,
+            "combo_id": combo_id,
+            "columns": [int(c) for c in columns],
+            "case_freqs": case_freqs,
+            "ref_freqs": ref_freqs,
+        }
+        remote_members = [m for m in combo_members if m != self.enclave_id]
+        requests = {
+            member: self._protect(member, "lr", payload)
+            for member in remote_members
+        }
+        responses = ocall("lr", requests)
+        parts: List[np.ndarray] = []
+        for member in combo_members:  # sorted order fixes row layout
+            if member == self.enclave_id:
+                parts.append(
+                    self._local_lr_matrix(
+                        store,
+                        columns,
+                        case_freqs,
+                        ref_freqs,
+                        buffer_label=f"lr-local/{request_id}",
+                    )
+                )
+                continue
+            answer = self._open(member, "lr", responses[member])
+            if answer["req_id"] != request_id:
+                raise ProtocolError(f"stale LR response from {member}")
+            matrix = np.asarray(answer["matrix"], dtype=np.float64)
+            expected_shape = (self._member_sizes[member], len(columns))
+            if matrix.shape != expected_shape:
+                raise ProtocolError(
+                    f"LR matrix from {member} has shape {matrix.shape}, "
+                    f"expected {expected_shape}"
+                )
+            parts.append(matrix)
+        case_matrix = np.vstack(parts)
+        ref_matrix = lr_test.lr_matrix(ref_genotypes, case_freqs, ref_freqs)
+        self.meter.register_buffer(
+            "lr-merged", case_matrix.nbytes + ref_matrix.nbytes
+        )
+        return case_matrix, ref_matrix
+
+    # ------------------------------------------------------------------
+    # Results and introspection
+    # ------------------------------------------------------------------
+
+    @ecall
+    def lead_combo_outcomes(self) -> List[Dict[str, Any]]:
+        """Per-combination safe sets (for the Table 5 analysis)."""
+        self._require_leader()
+        return [
+            {
+                "combo_id": combo_id,
+                "f": f,
+                "members": list(members),
+                "safe": list(self._combo_safe.get(combo_id, ())),
+            }
+            for combo_id, f, members in self._combos
+        ]
+
+    @ecall
+    def lead_plain_safe(self) -> List[int]:
+        """The plain (collusion-oblivious) release — Table 5's baseline."""
+        self._require_leader()
+        if "safe" not in self._plain_retained:
+            raise PhaseOrderError("LR phase has not run")
+        return list(self._plain_retained["safe"])
+
+    @ecall
+    def lead_release_power(self) -> float:
+        self._require_leader()
+        return self._release_power
+
+    @ecall
+    def lead_release_statistics(self) -> Dict[str, Any]:
+        """Chi-squared release statistics over the final safe set."""
+        self._require_leader()
+        if "safe" not in self._retained:
+            raise PhaseOrderError("LR phase has not run")
+        safe = self._retained["safe"]
+        counts = self._combo_counts["f0"][safe]
+        n_case = self._combo_sizes["f0"]
+        ref_counts = self._reference_counts[safe]
+        statistic = chisq.pearson_chi_square(
+            counts, ref_counts, n_case, self._reference_rows
+        )
+        return {
+            "snps": list(safe),
+            "chi2": statistic,
+            "pvalues": chisq.chi_square_pvalues(statistic),
+            "case_freqs": counts.astype(np.float64) / n_case,
+            "ref_freqs": ref_counts.astype(np.float64) / self._reference_rows,
+            "n_case": n_case,
+            "n_reference": self._reference_rows,
+        }
+
+    @ecall
+    def export_audit_log(self) -> List[Dict[str, Any]]:
+        """Outbound-payload audit trail (kind, peer, size, genotype rows)."""
+        return [dict(entry) for entry in self._audit_log]
+
+    # ------------------------------------------------------------------
+    # Sealed checkpoints (leader crash recovery)
+    # ------------------------------------------------------------------
+    #
+    # The paper's TEEs use data sealing "to store data persistently
+    # outside the TEE".  The leader's aggregation state between phases
+    # is exactly the data worth persisting: if the leader machine
+    # restarts mid-study, a fresh enclave instance (same trusted code on
+    # the same platform, hence the same sealing key) can unseal the
+    # checkpoint and continue, after re-attesting channels with the
+    # members.  Channel keys are deliberately NOT checkpointed — session
+    # keys die with the enclave and are re-agreed on recovery.
+
+    def _checkpoint_payload(self) -> Dict[str, Any]:
+        members = sorted(self._member_counts)
+        moment_keys = sorted(self._member_pair_moments)
+        local_keys = sorted(self._local_pair_moments)
+        ref_keys = sorted(self._reference_pair_moments)
+
+        def pack_moments(keys, lookup):
+            rows = [
+                [m.mu_l, m.mu_r, m.mu_lr, m.mu_l2, m.mu_r2, m.count]
+                for m in (lookup[k] for k in keys)
+            ]
+            return np.asarray(rows, dtype=np.int64).reshape(len(keys), 6)
+
+        return {
+            "study": self._study,
+            "member_ids": members,
+            "member_counts": [self._member_counts[m] for m in members],
+            "member_sizes": [self._member_sizes[m] for m in members],
+            "reference_counts": self._reference_counts,
+            "reference_rows": self._reference_rows,
+            "retained": {k: list(v) for k, v in self._retained.items()},
+            "plain_retained": {
+                k: list(v) for k, v in self._plain_retained.items()
+            },
+            "combo_ids": sorted(self._combo_counts),
+            "combo_counts": [
+                self._combo_counts[c] for c in sorted(self._combo_counts)
+            ],
+            "combo_sizes": [
+                self._combo_sizes[c] for c in sorted(self._combo_counts)
+            ],
+            "moment_keys": [list(k) for k in moment_keys],
+            "moment_values": pack_moments(moment_keys, self._member_pair_moments),
+            "local_keys": [list(k) for k in local_keys],
+            "local_values": pack_moments(local_keys, self._local_pair_moments),
+            "ref_keys": [list(k) for k in ref_keys],
+            "ref_values": pack_moments(ref_keys, self._reference_pair_moments),
+            "request_counter": self._lr_request_counter,
+        }
+
+    @ecall
+    def checkpoint_state(self) -> SealedBlob:
+        """Seal the leader's verification state for untrusted storage."""
+        self._require_leader()
+        raw = serialization.encode(self._checkpoint_payload())
+        return seal(self, raw, label="leader-checkpoint")
+
+    @ecall
+    def restore_state(self, blob: SealedBlob) -> None:
+        """Restore a sealed checkpoint into this (fresh) enclave.
+
+        Only an enclave with the same measurement on the same platform
+        can unseal the blob; a tampered or foreign checkpoint fails.
+        """
+        raw = unseal(self, blob)
+        state = serialization.decode(raw)
+        self._study = state["study"]
+        self._combos = self._build_combinations(
+            self._study["member_ids"], list(self._study["f_values"])
+        )
+        members = state["member_ids"]
+        self._member_counts = {
+            m: np.asarray(c, dtype=np.int64)
+            for m, c in zip(members, state["member_counts"])
+        }
+        self._member_sizes = {
+            m: int(s) for m, s in zip(members, state["member_sizes"])
+        }
+        self._reference_counts = (
+            None
+            if state["reference_counts"] is None
+            else np.asarray(state["reference_counts"], dtype=np.int64)
+        )
+        self._reference_rows = int(state["reference_rows"])
+        self._retained = {
+            k: [int(s) for s in v] for k, v in state["retained"].items()
+        }
+        self._plain_retained = {
+            k: [int(s) for s in v] for k, v in state["plain_retained"].items()
+        }
+        self._combo_counts = {
+            c: np.asarray(v, dtype=np.int64)
+            for c, v in zip(state["combo_ids"], state["combo_counts"])
+        }
+        self._combo_sizes = {
+            c: int(s) for c, s in zip(state["combo_ids"], state["combo_sizes"])
+        }
+        self._ranking_cache = {}
+
+        def unpack(keys, values, make_key):
+            values = np.asarray(values, dtype=np.int64).reshape(len(keys), 6)
+            return {
+                make_key(key): ld.PairMoments(*row[:5], count=row[5])
+                for key, row in zip(keys, values.tolist())
+            }
+
+        self._member_pair_moments = unpack(
+            state["moment_keys"],
+            state["moment_values"],
+            lambda k: (str(k[0]), int(k[1]), int(k[2])),
+        )
+        self._local_pair_moments = unpack(
+            state["local_keys"],
+            state["local_values"],
+            lambda k: (int(k[0]), int(k[1])),
+        )
+        self._reference_pair_moments = unpack(
+            state["ref_keys"],
+            state["ref_values"],
+            lambda k: (int(k[0]), int(k[1])),
+        )
+        members_set = self._other_members()
+        self._ld_cached = {
+            pair
+            for pair in self._local_pair_moments
+            if all((m, *pair) in self._member_pair_moments for m in members_set)
+        }
+        self._lr_request_counter = int(state["request_counter"])

@@ -1,0 +1,180 @@
+"""Interdependent release assessment (the I-GWAS problem).
+
+A federation rarely publishes once.  Statistics released in earlier
+epochs (or earlier studies over overlapping cohorts) are already in the
+adversary's hands, and *their* leakage composes with whatever is
+released next: a SNP set that is safe in isolation can push the
+cumulative LR detector past the power threshold when combined with
+prior publications.  The paper cites this interdependence problem
+(I-GWAS, its reference [37]) as the companion line of work; this module
+implements the assessment for the repository's dynamic-study driver:
+
+* the LR detector is evaluated over the **union** of everything ever
+  published plus the new candidates, and
+* new SNPs are admitted, in the study's significance order, only while
+  the cumulative power stays below the threshold.
+
+If the already-public set alone exceeds the threshold under the current
+(grown) cohort, the assessment is *blocked*: nothing new is released
+and the exposure is reported for the federation's governance process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..genomics.population import Cohort
+from ..stats import chisq, lr_test
+
+
+@dataclass(frozen=True)
+class InterdependentAssessment:
+    """Outcome of one cumulative-exposure assessment."""
+
+    #: SNPs newly admitted by this assessment (disjoint from published).
+    admitted: Tuple[int, ...]
+    #: Cumulative detector power over published + admitted.
+    cumulative_power: float
+    #: Power of the already-published set alone under the current cohort.
+    prior_power: float
+    #: True when the prior exposure alone breaches the threshold.
+    blocked: bool
+
+    @property
+    def admitted_count(self) -> int:
+        return len(self.admitted)
+
+
+def assess_interdependent_release(
+    cohort: Cohort,
+    published: Sequence[int],
+    candidates: Sequence[int],
+    *,
+    alpha: float,
+    beta: float,
+) -> InterdependentAssessment:
+    """Admit candidates only while the *cumulative* exposure stays safe.
+
+    Args:
+        cohort: the current study cohort (case + reference populations).
+        published: SNPs whose statistics are already public.
+        candidates: SNPs the current verification deemed safe in
+            isolation (e.g. this epoch's ``L_safe``).
+        alpha: the detector's tolerated false-positive rate.
+        beta: the identification-power threshold.
+
+    Candidates are considered in descending chi-squared significance —
+    the study's utility ordering — so the remaining privacy budget goes
+    to the most valuable SNPs first.
+    """
+    published_list = sorted({int(s) for s in published})
+    candidate_list = [
+        int(s) for s in candidates if int(s) not in set(published_list)
+    ]
+    if any(
+        not 0 <= s < cohort.num_snps for s in published_list + candidate_list
+    ):
+        raise ProtocolError("SNP index outside the study panel")
+
+    union = published_list + sorted(set(candidate_list))
+    if not union:
+        return InterdependentAssessment(
+            admitted=(), cumulative_power=0.0, prior_power=0.0, blocked=False
+        )
+
+    case = cohort.case.array()[:, union]
+    reference = cohort.reference.array()[:, union]
+    n_case = cohort.case.num_individuals
+    n_ref = cohort.reference.num_individuals
+    case_freqs = case.sum(axis=0) / n_case
+    ref_freqs = reference.sum(axis=0) / n_ref
+    case_lr = lr_test.lr_matrix(case, case_freqs, ref_freqs)
+    ref_lr = lr_test.lr_matrix(reference, case_freqs, ref_freqs)
+
+    position = {snp: i for i, snp in enumerate(union)}
+    published_positions = [position[s] for s in published_list]
+
+    prior_power = 0.0
+    if published_positions:
+        prior_power = lr_test.empirical_power(
+            lr_test.lr_scores(case_lr, published_positions),
+            lr_test.lr_scores(ref_lr, published_positions),
+            alpha,
+        )
+        if prior_power >= beta:
+            return InterdependentAssessment(
+                admitted=(),
+                cumulative_power=prior_power,
+                prior_power=prior_power,
+                blocked=True,
+            )
+
+    # Candidate order: descending chi-squared significance on the
+    # current cohort (ascending ranking p-value, stable ties).
+    ranking = chisq.rank_pvalues(
+        cohort.case.allele_counts(),
+        cohort.reference.allele_counts(),
+        n_case,
+        n_ref,
+    )
+    ordered_candidates = sorted(
+        set(candidate_list), key=lambda s: (ranking[s], s)
+    )
+    order = [position[s] for s in ordered_candidates]
+
+    selection = lr_test.select_safe_subset(
+        case_lr,
+        ref_lr,
+        order,
+        alpha=alpha,
+        beta=beta,
+        preselected=published_positions,
+    )
+    admitted = tuple(
+        sorted(union[c] for c in selection.selected_columns)
+    )
+    return InterdependentAssessment(
+        admitted=admitted,
+        cumulative_power=selection.power,
+        prior_power=prior_power,
+        blocked=False,
+    )
+
+
+def cumulative_release_power(
+    cohort: Cohort, released: Sequence[int], *, alpha: float
+) -> float:
+    """Detector power over an arbitrary released set on this cohort."""
+    snps = sorted({int(s) for s in released})
+    if not snps:
+        return 0.0
+    case = cohort.case.array()[:, snps]
+    reference = cohort.reference.array()[:, snps]
+    case_freqs = case.sum(axis=0) / cohort.case.num_individuals
+    ref_freqs = reference.sum(axis=0) / cohort.reference.num_individuals
+    return lr_test.empirical_power(
+        lr_test.lr_scores(lr_test.lr_matrix(case, case_freqs, ref_freqs)),
+        lr_test.lr_scores(lr_test.lr_matrix(reference, case_freqs, ref_freqs)),
+        alpha,
+    )
+
+
+def admissible_after_history(
+    cohort: Cohort,
+    history: List[Sequence[int]],
+    candidates: Sequence[int],
+    *,
+    alpha: float,
+    beta: float,
+) -> InterdependentAssessment:
+    """Convenience wrapper: assess against the union of past releases."""
+    published: set = set()
+    for release in history:
+        published |= {int(s) for s in release}
+    return assess_interdependent_release(
+        cohort, sorted(published), candidates, alpha=alpha, beta=beta
+    )

@@ -1,0 +1,34 @@
+"""Random leader election.
+
+GenDPR "proceeds with a randomly elected leader GDO" chosen among the
+registered enclaves (Section 5.2).  The election here is a deterministic
+function of the study seed and the sorted member list, so
+
+* every member computes the same leader independently (no extra round),
+* re-running a study configuration reproduces the same election, and
+* different seeds exercise different leaders, which the tests use to
+  show the outcome is leader-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..crypto.rng import DeterministicRng
+from ..errors import ProtocolError
+
+
+def elect_leader(member_ids: Sequence[str], seed: int, study_id: str) -> str:
+    """Pick the leader GDO for one study.
+
+    The draw is keyed by the study identifier as well as the seed so two
+    concurrent studies in one federation generally elect different
+    leaders, spreading coordination load.
+    """
+    members = sorted(set(member_ids))
+    if not members:
+        raise ProtocolError("cannot elect a leader from an empty federation")
+    if len(members) != len(member_ids):
+        raise ProtocolError("member ids must be unique")
+    rng = DeterministicRng(f"leader-election/{study_id}/{seed}")
+    return rng.choice(members)

@@ -1,0 +1,171 @@
+"""The naive distributed baseline (paper Section 7.3).
+
+"In the naive approach, each GDO computes the LD and LR-test
+independently (relying only on their local dataset) and shares an
+encrypted vector of selected SNP indexes, of which the leader computes
+an intersection and outputs as safe only mutually chosen SNPs."
+
+Each member therefore runs the *same* per-phase decision functions as
+GenDPR, but over its **local** case shard (plus the public reference
+set) instead of globally aggregated statistics.  Per phase, the leader
+intersects the members' locally retained lists and broadcasts the
+result as the next phase's input — so the paper's observation can be
+reproduced exactly: the MAF intersection usually matches the global
+filter, while LD and LR decisions based on local shards diverge and
+select a smaller, partly disjoint (and hence unsafe-to-trust) set.
+
+Because this baseline exists to compare *outcomes* (Table 4), it is
+implemented as plain computation over the shards rather than through
+the enclave machinery; the message pattern it would generate (one index
+vector per member per phase) is accounted analytically in
+:func:`naive_traffic_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import StudyConfig
+from ..errors import ProtocolError
+from ..genomics.partition import LocalDataset
+from ..genomics.population import Cohort
+from ..stats import chisq, lr_test, maf
+from . import pipeline
+
+
+@dataclass(frozen=True)
+class NaiveResult:
+    """Per-phase intersections of the naive scheme."""
+
+    l_prime: List[int]
+    l_double_prime: List[int]
+    l_safe: List[int]
+    #: Each member's local selections, keyed by GDO id, per phase.
+    local_prime: Dict[str, List[int]]
+    local_double_prime: Dict[str, List[int]]
+    local_safe: Dict[str, List[int]]
+
+    def phase_counts(self) -> Dict[str, int]:
+        return {
+            "MAF": len(self.l_prime),
+            "LD": len(self.l_double_prime),
+            "LR": len(self.l_safe),
+        }
+
+
+def _intersect(per_member: Dict[str, List[int]]) -> List[int]:
+    sets = [set(v) for v in per_member.values()]
+    if not sets:
+        return []
+    return sorted(set.intersection(*sets))
+
+
+def run_naive_study(
+    cohort: Cohort, config: StudyConfig, datasets: Sequence[LocalDataset]
+) -> NaiveResult:
+    """Run the naive per-member verification with per-phase intersection."""
+    if not datasets:
+        raise ProtocolError("need at least one member")
+    if config.snp_count != cohort.num_snps:
+        raise ProtocolError("config and cohort disagree on the SNP panel")
+    thresholds = config.thresholds
+    reference = cohort.reference.array()
+    ref_counts = cohort.reference.allele_counts()
+    n_ref = cohort.reference.num_individuals
+
+    # Phase 1: each member filters on its *local* MAF; intersect.
+    local_prime: Dict[str, List[int]] = {}
+    rankings: Dict[str, np.ndarray] = {}
+    for dataset in datasets:
+        case_counts = dataset.case.allele_counts()
+        n_case = dataset.num_case
+        frequencies = maf.allele_frequencies(
+            maf.aggregate_counts([case_counts, ref_counts]), n_case + n_ref
+        )
+        local_prime[dataset.gdo_id] = maf.maf_filter(
+            frequencies, thresholds.maf_cutoff
+        )
+        rankings[dataset.gdo_id] = chisq.rank_pvalues(
+            case_counts, ref_counts, n_case, n_ref
+        )
+    l_prime = _intersect(local_prime)
+
+    # Phase 2: each member prunes LD over the intersected list using only
+    # its local shard (plus the public reference); intersect.
+    local_double_prime: Dict[str, List[int]] = {}
+    for dataset in datasets:
+        source = pipeline.matrix_moment_source(dataset.case.array(), reference)
+        local_double_prime[dataset.gdo_id] = pipeline.ld_prune(
+            l_prime,
+            rankings[dataset.gdo_id],
+            source,
+            thresholds.ld_cutoff,
+        )
+    l_double_prime = _intersect(local_double_prime)
+
+    # Phase 3: each member runs the LR-test with its *local* case
+    # frequencies — the incorrect step GenDPR's broadcast fixes.
+    local_safe: Dict[str, List[int]] = {}
+    for dataset in datasets:
+        if not l_double_prime:
+            local_safe[dataset.gdo_id] = []
+            continue
+        case = dataset.case.array()
+        n_case = dataset.num_case
+        case_freqs = (
+            case[:, l_double_prime].sum(axis=0, dtype=np.int64).astype(np.float64)
+            / n_case
+        )
+        ref_freqs = ref_counts[l_double_prime].astype(np.float64) / n_ref
+        case_lr = lr_test.lr_matrix(
+            case[:, l_double_prime], case_freqs, ref_freqs
+        )
+        ref_lr = lr_test.lr_matrix(
+            reference[:, l_double_prime], case_freqs, ref_freqs
+        )
+        order = pipeline.lr_ranking_order(
+            l_double_prime, rankings[dataset.gdo_id]
+        )
+        selection = lr_test.select_safe_subset(
+            case_lr,
+            ref_lr,
+            order,
+            alpha=thresholds.false_positive_rate,
+            beta=thresholds.power_threshold,
+        )
+        local_safe[dataset.gdo_id] = sorted(
+            l_double_prime[c] for c in selection.selected_columns
+        )
+    l_safe = _intersect(local_safe)
+
+    return NaiveResult(
+        l_prime=l_prime,
+        l_double_prime=l_double_prime,
+        l_safe=l_safe,
+        local_prime=local_prime,
+        local_double_prime=local_double_prime,
+        local_safe=local_safe,
+    )
+
+
+def naive_traffic_bytes(result: NaiveResult, num_members: int) -> int:
+    """Bytes the naive scheme's index-vector exchanges would move.
+
+    One 32-bit index per selected SNP per member per phase, leader
+    broadcasts of the intersections back, matching the paper's sizing
+    convention (4 bytes per SNP index).
+    """
+    per_member = 4 * (
+        sum(len(v) for v in result.local_prime.values())
+        + sum(len(v) for v in result.local_double_prime.values())
+        + sum(len(v) for v in result.local_safe.values())
+    )
+    broadcasts = (
+        4
+        * (num_members - 1)
+        * (len(result.l_prime) + len(result.l_double_prime) + len(result.l_safe))
+    )
+    return per_member + broadcasts

@@ -1,0 +1,209 @@
+"""GenDPR protocol orchestration.
+
+:class:`GenDPRProtocol` drives one study across a provisioned
+federation: it invokes the leader enclave's phase ECALLs, supplies the
+OCALL through which the leader exchanges encrypted frames with member
+enclaves, and assembles the :class:`~repro.core.phases.StudyResult`.
+
+Everything that *decides* happens inside the trusted module
+(:mod:`repro.core.enclave_logic`); this orchestrator is part of the
+untrusted middleware and only ever touches ciphertext frames, timing
+and accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..config import StudyConfig
+from ..errors import ProtocolError
+from ..genomics.partition import partition_cohort
+from ..genomics.population import Cohort
+from ..net import Envelope, SimulatedNetwork
+from .federation import Federation, build_federation
+from .phases import CollusionReport, CombinationOutcome, StudyResult
+from .timing import (
+    DATA_AGGREGATION,
+    INDEXING,
+    LD_ANALYSIS,
+    LR_ANALYSIS,
+    PhaseClock,
+    PhaseTimings,
+    RoundAccounting,
+)
+
+
+class GenDPRProtocol:
+    """Runs one GenDPR study over a federation."""
+
+    def __init__(self, federation: Federation):
+        self._federation = federation
+        self._accounting = RoundAccounting()
+
+    @property
+    def federation(self) -> Federation:
+        return self._federation
+
+    # -- OCALL ---------------------------------------------------------------
+
+    def _ocall_exchange(self, kind: str, frames: Dict[str, bytes]) -> Dict[str, bytes]:
+        """Route leader frames to members and collect their answers.
+
+        Per-member enclave compute time is recorded so the phase clock
+        can apply the parallel-round correction (members run on separate
+        servers in a real deployment).
+        """
+        federation = self._federation
+        network = federation.network
+        leader_id = federation.leader_id
+        responses: Dict[str, bytes] = {}
+        member_times: Dict[str, float] = {}
+        for member_id, frame in frames.items():
+            if member_id == leader_id:
+                raise ProtocolError("leader cannot ocall itself")
+            network.send(
+                Envelope(sender=leader_id, receiver=member_id, tag=kind, body=frame)
+            )
+            inbound = network.receive(member_id, kind)
+            begin = time.perf_counter()
+            reply = federation.hosts[member_id].handle_envelope(inbound)
+            member_times[member_id] = time.perf_counter() - begin
+            if reply is not None:
+                network.send(reply)
+                responses[member_id] = network.receive(leader_id, kind).body
+        self._accounting.record_round(member_times)
+        return responses
+
+    # -- Study execution ---------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        """Execute the three verification phases and build the result."""
+        federation = self._federation
+        config = federation.config
+        leader_host = federation.leader_host
+        leader = leader_host.enclave
+        store = leader_host.store
+        ref_store = leader_host.reference_store
+        if store is None or ref_store is None:
+            raise ProtocolError("leader is missing its sealed datasets")
+
+        timings = PhaseTimings()
+        clock = PhaseClock(timings)
+        accounting = self._accounting
+
+        with clock.task(DATA_AGGREGATION, accounting):
+            leader.ecall(
+                "lead_collect_summaries",
+                store,
+                ref_store,
+                self._ocall_exchange,
+                label="summaries",
+            )
+
+        with clock.task(INDEXING, accounting):
+            l_prime = leader.ecall("lead_run_maf", label="maf")
+            leader.ecall(
+                "lead_broadcast_retained", "prime", self._ocall_exchange,
+                label="broadcast",
+            )
+
+        with clock.task(LD_ANALYSIS, accounting):
+            l_double_prime = leader.ecall(
+                "lead_run_ld", store, ref_store, self._ocall_exchange, label="ld"
+            )
+            leader.ecall(
+                "lead_broadcast_retained", "double_prime", self._ocall_exchange,
+                label="broadcast",
+            )
+
+        with clock.task(LR_ANALYSIS, accounting):
+            l_safe = leader.ecall(
+                "lead_run_lr", store, ref_store, self._ocall_exchange, label="lr"
+            )
+            leader.ecall(
+                "lead_broadcast_retained", "safe", self._ocall_exchange,
+                label="broadcast",
+            )
+
+        return self._build_result(timings, l_prime, l_double_prime, l_safe)
+
+    def _build_result(
+        self, timings, l_prime, l_double_prime, l_safe
+    ) -> StudyResult:
+        federation = self._federation
+        config = federation.config
+        leader = federation.leader_host.enclave
+
+        collusion: Optional[CollusionReport] = None
+        if config.collusion.enabled:
+            outcomes = leader.ecall("lead_combo_outcomes", label="report")
+            report = CollusionReport(
+                baseline_safe=tuple(
+                    int(s)
+                    for s in leader.ecall("lead_plain_safe", label="report")
+                )
+            )
+            for outcome in outcomes:
+                if outcome["f"] == 0:
+                    continue
+                report.outcomes.append(
+                    CombinationOutcome(
+                        member_ids=tuple(outcome["members"]),
+                        f=int(outcome["f"]),
+                        safe_snps=tuple(int(s) for s in outcome["safe"]),
+                    )
+                )
+            collusion = report
+
+        totals = federation.network.total_stats()
+        reports = federation.resource_reports()
+        return StudyResult(
+            study_id=config.study_id,
+            leader_id=federation.leader_id,
+            num_members=len(federation.hosts),
+            l_des=config.snp_count,
+            l_prime=list(l_prime),
+            l_double_prime=list(l_double_prime),
+            l_safe=list(l_safe),
+            timings=timings,
+            network_bytes=totals.wire_bytes,
+            network_messages=totals.messages,
+            enclave_peak_memory={
+                gdo: report.peak_memory_bytes for gdo, report in reports.items()
+            },
+            enclave_cpu_utilization={
+                gdo: report.cpu_utilization for gdo, report in reports.items()
+            },
+            release_power=float(leader.ecall("lead_release_power", label="report")),
+            collusion=collusion,
+        )
+
+    def release_statistics(self) -> Dict[str, object]:
+        """The leader's chi-squared statistics over the safe set."""
+        return self._federation.leader_host.enclave.ecall(
+            "lead_release_statistics", label="release"
+        )
+
+
+def run_study(
+    cohort: Cohort,
+    config: StudyConfig,
+    num_members: int,
+    *,
+    network: Optional[SimulatedNetwork] = None,
+    shuffle_seed: Optional[int] = None,
+) -> StudyResult:
+    """Convenience one-call API: partition, provision, run.
+
+    This is the library's front door for the common case; examples and
+    benchmarks use it, while tests that need to poke at internals build
+    the federation explicitly.
+    """
+    if config.snp_count != cohort.num_snps:
+        raise ProtocolError(
+            f"config covers {config.snp_count} SNPs, cohort has {cohort.num_snps}"
+        )
+    datasets = partition_cohort(cohort, num_members, shuffle_seed=shuffle_seed)
+    federation = build_federation(config, datasets, cohort, network=network)
+    return GenDPRProtocol(federation).run()

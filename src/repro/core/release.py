@@ -1,0 +1,166 @@
+"""GWAS release objects.
+
+After the verification pipeline returns ``L_safe``, the federation
+computes and publishes GWAS statistics.  Two release shapes are
+supported:
+
+* :class:`GwasRelease` — the paper's main output: exact chi-squared
+  statistics, p-values and allele frequencies over the safe SNPs only.
+* :func:`hybrid_release` — the Section 5.5 extension: exact statistics
+  over ``L_safe`` plus Laplace-perturbed statistics over the withheld
+  complement, so every requested SNP position receives *some* value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..stats import chisq
+from .dp import LaplaceMechanism
+
+
+@dataclass(frozen=True)
+class SnpStatistic:
+    """Released statistics of one SNP."""
+
+    snp_index: int
+    chi2: float
+    pvalue: float
+    case_frequency: float
+    reference_frequency: float
+    dp_protected: bool = False
+
+
+@dataclass(frozen=True)
+class GwasRelease:
+    """An open-access GWAS statistics release."""
+
+    study_id: str
+    statistics: List[SnpStatistic]
+    n_case: int
+    n_reference: int
+    residual_power: float = 0.0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        indices = [s.snp_index for s in self.statistics]
+        if len(set(indices)) != len(indices):
+            raise ProtocolError("release contains duplicate SNPs")
+
+    @property
+    def snp_indices(self) -> List[int]:
+        return [s.snp_index for s in self.statistics]
+
+    def exact(self) -> List[SnpStatistic]:
+        return [s for s in self.statistics if not s.dp_protected]
+
+    def perturbed(self) -> List[SnpStatistic]:
+        return [s for s in self.statistics if s.dp_protected]
+
+    def most_significant(self, top: int = 10) -> List[SnpStatistic]:
+        """The top-ranked SNPs of the release (ascending p-value)."""
+        return sorted(self.statistics, key=lambda s: (s.pvalue, s.snp_index))[:top]
+
+
+def build_release(
+    study_id: str, leader_statistics: Dict[str, object], residual_power: float
+) -> GwasRelease:
+    """Assemble the exact release from the leader enclave's statistics."""
+    snps = list(leader_statistics["snps"])
+    chi2_values = np.asarray(leader_statistics["chi2"], dtype=np.float64)
+    pvalues = np.asarray(leader_statistics["pvalues"], dtype=np.float64)
+    case_freqs = np.asarray(leader_statistics["case_freqs"], dtype=np.float64)
+    ref_freqs = np.asarray(leader_statistics["ref_freqs"], dtype=np.float64)
+    statistics = [
+        SnpStatistic(
+            snp_index=int(snp),
+            chi2=float(chi2_values[i]),
+            pvalue=float(pvalues[i]),
+            case_frequency=float(case_freqs[i]),
+            reference_frequency=float(ref_freqs[i]),
+        )
+        for i, snp in enumerate(snps)
+    ]
+    return GwasRelease(
+        study_id=study_id,
+        statistics=statistics,
+        n_case=int(leader_statistics["n_case"]),
+        n_reference=int(leader_statistics["n_reference"]),
+        residual_power=residual_power,
+    )
+
+
+def hybrid_release(
+    exact: GwasRelease,
+    *,
+    all_snps: int,
+    withheld_case_counts: Dict[int, int],
+    withheld_reference_counts: Dict[int, int],
+    epsilon: float,
+    seed: int = 0,
+) -> GwasRelease:
+    """Extend an exact release with DP-perturbed withheld SNPs.
+
+    Args:
+        exact: the noise-free release over ``L_safe``.
+        all_snps: size of the originally desired set ``L_des``.
+        withheld_case_counts / withheld_reference_counts: true allele
+            counts of the withheld SNPs (``L_des \\ L_safe``), as the
+            leader enclave holds them.
+        epsilon: per-count privacy budget for the Laplace mechanism
+            (each withheld SNP consumes ``2 * epsilon``: one count per
+            population).
+        seed: mechanism seed, recorded for reproducibility.
+    """
+    if set(withheld_case_counts) != set(withheld_reference_counts):
+        raise ProtocolError("withheld count dictionaries disagree on SNPs")
+    overlap = set(exact.snp_indices) & set(withheld_case_counts)
+    if overlap:
+        raise ProtocolError(f"SNPs {sorted(overlap)} are both safe and withheld")
+    if any(not 0 <= s < all_snps for s in withheld_case_counts):
+        raise ProtocolError("withheld SNP index out of range")
+
+    mechanism_case = LaplaceMechanism(epsilon=epsilon, seed=seed)
+    mechanism_ref = LaplaceMechanism(epsilon=epsilon, seed=seed + 1)
+    withheld = sorted(withheld_case_counts)
+    case_noisy = mechanism_case.perturb_counts(
+        np.array([withheld_case_counts[s] for s in withheld], dtype=np.float64),
+        exact.n_case,
+    )
+    ref_noisy = mechanism_ref.perturb_counts(
+        np.array(
+            [withheld_reference_counts[s] for s in withheld], dtype=np.float64
+        ),
+        exact.n_reference,
+    )
+    chi2_noisy = chisq.pearson_chi_square(
+        case_noisy, ref_noisy, exact.n_case, exact.n_reference
+    )
+    pvalues = chisq.chi_square_pvalues(chi2_noisy)
+    perturbed = [
+        SnpStatistic(
+            snp_index=int(snp),
+            chi2=float(chi2_noisy[i]),
+            pvalue=float(pvalues[i]),
+            case_frequency=float(case_noisy[i] / exact.n_case),
+            reference_frequency=float(ref_noisy[i] / exact.n_reference),
+            dp_protected=True,
+        )
+        for i, snp in enumerate(withheld)
+    ]
+    return GwasRelease(
+        study_id=exact.study_id,
+        statistics=list(exact.statistics) + perturbed,
+        n_case=exact.n_case,
+        n_reference=exact.n_reference,
+        residual_power=exact.residual_power,
+        metadata=dict(
+            exact.metadata,
+            dp_epsilon=str(epsilon),
+            dp_seed=str(seed),
+        ),
+    )

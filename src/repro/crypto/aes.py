@@ -1,0 +1,250 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+This is the *reference* cipher of the reproduction: the paper encrypts all
+exchanged data with AES-256, and this module provides a dependency-free
+implementation validated against the FIPS-197 Appendix C known-answer
+vectors (see ``tests/test_crypto_aes.py``).  Bulk payloads use the faster
+:mod:`repro.crypto.stream` AEAD; this block cipher backs the small control
+messages and the key-wrapping paths where byte-for-byte fidelity to the
+standard matters more than throughput.
+
+Only the raw block operations live here; chaining modes are in
+:mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import InvalidKeyError
+
+BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# GF(2^8) arithmetic and table construction
+# ---------------------------------------------------------------------------
+# The S-box is derived, not transcribed: each byte is replaced by its
+# multiplicative inverse in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1
+# followed by the standard affine transformation.  Deriving the tables keeps
+# the implementation auditable against the specification text itself.
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Carry-less multiplication in GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); maps 0 to 0 per the standard."""
+    if a == 0:
+        return 0
+    # a^254 == a^-1 because the multiplicative group has order 255.
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _rotl8(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (8 - shift))) & 0xFF
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    sbox = bytearray(256)
+    inverse = bytearray(256)
+    for byte in range(256):
+        inv = _gf_inverse(byte)
+        value = (
+            inv
+            ^ _rotl8(inv, 1)
+            ^ _rotl8(inv, 2)
+            ^ _rotl8(inv, 3)
+            ^ _rotl8(inv, 4)
+            ^ 0x63
+        )
+        sbox[byte] = value
+        inverse[value] = byte
+    return bytes(sbox), bytes(inverse)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+#: Round constants for the key schedule, rcon[i] = x^(i-1) in GF(2^8).
+_RCON = [0] * 11
+_value = 1
+for _i in range(1, 11):
+    _RCON[_i] = _value
+    _value = _xtime(_value)
+
+
+# ---------------------------------------------------------------------------
+# Key schedule
+# ---------------------------------------------------------------------------
+
+
+def _sub_word(word: Sequence[int]) -> List[int]:
+    return [SBOX[b] for b in word]
+
+
+def _rot_word(word: Sequence[int]) -> List[int]:
+    return list(word[1:]) + [word[0]]
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """Expand a 16/24/32-byte key into the per-round key schedule.
+
+    Returns a list of 4-byte words; round ``r`` uses words ``4r .. 4r+3``.
+    """
+    if len(key) not in (16, 24, 32):
+        raise InvalidKeyError(f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    rounds = nk + 6
+    words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = _sub_word(_rot_word(temp))
+            temp[0] ^= _RCON[i // nk]
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+    return words
+
+
+def _num_rounds(key: bytes) -> int:
+    return len(key) // 4 + 6
+
+
+# ---------------------------------------------------------------------------
+# Block transformations (state is a flat 16-byte column-major list)
+# ---------------------------------------------------------------------------
+
+
+def _add_round_key(state: List[int], words: List[List[int]], round_index: int) -> None:
+    offset = 4 * round_index
+    for col in range(4):
+        word = words[offset + col]
+        for row in range(4):
+            state[4 * col + row] ^= word[row]
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = INV_SBOX[state[i]]
+
+
+def _shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        values = [state[4 * col + row] for col in range(4)]
+        shifted = values[row:] + values[:row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _inv_shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        values = [state[4 * col + row] for col in range(4)]
+        shifted = values[-row:] + values[:-row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _mix_single_column(column: List[int]) -> List[int]:
+    a0, a1, a2, a3 = column
+    return [
+        _xtime(a0) ^ _xtime(a1) ^ a1 ^ a2 ^ a3,
+        a0 ^ _xtime(a1) ^ _xtime(a2) ^ a2 ^ a3,
+        a0 ^ a1 ^ _xtime(a2) ^ _xtime(a3) ^ a3,
+        _xtime(a0) ^ a0 ^ a1 ^ a2 ^ _xtime(a3),
+    ]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        state[4 * col : 4 * col + 4] = _mix_single_column(state[4 * col : 4 * col + 4])
+
+
+def _inv_mix_single_column(column: List[int]) -> List[int]:
+    a0, a1, a2, a3 = column
+    return [
+        _gf_mul(a0, 0x0E) ^ _gf_mul(a1, 0x0B) ^ _gf_mul(a2, 0x0D) ^ _gf_mul(a3, 0x09),
+        _gf_mul(a0, 0x09) ^ _gf_mul(a1, 0x0E) ^ _gf_mul(a2, 0x0B) ^ _gf_mul(a3, 0x0D),
+        _gf_mul(a0, 0x0D) ^ _gf_mul(a1, 0x09) ^ _gf_mul(a2, 0x0E) ^ _gf_mul(a3, 0x0B),
+        _gf_mul(a0, 0x0B) ^ _gf_mul(a1, 0x0D) ^ _gf_mul(a2, 0x09) ^ _gf_mul(a3, 0x0E),
+    ]
+
+
+def _inv_mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        state[4 * col : 4 * col + 4] = _inv_mix_single_column(
+            state[4 * col : 4 * col + 4]
+        )
+
+
+class AES:
+    """AES block cipher with a precomputed key schedule.
+
+    The instance is immutable and safe to share; the key material is held
+    only as the expanded schedule.
+    """
+
+    def __init__(self, key: bytes):
+        self._schedule = expand_key(key)
+        self._rounds = _num_rounds(key)
+        self.key_bits = len(key) * 8
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._schedule, 0)
+        for round_index in range(1, self._rounds):
+            _sub_bytes(state)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._schedule, round_index)
+        _sub_bytes(state)
+        _shift_rows(state)
+        _add_round_key(state, self._schedule, self._rounds)
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._schedule, self._rounds)
+        for round_index in range(self._rounds - 1, 0, -1):
+            _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._schedule, round_index)
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._schedule, 0)
+        return bytes(state)

@@ -1,0 +1,121 @@
+"""Authenticated encryption (encrypt-then-MAC AEAD).
+
+Two interchangeable AEAD schemes share one wire format::
+
+    nonce (16) || ciphertext || tag (32)
+
+* :class:`AesCtrHmacAead` — pure-Python AES-CTR + HMAC-SHA256; the
+  byte-exact analogue of the paper's AES-256 encryption, used for small
+  control messages, key wrapping and wherever tests need the reference
+  cipher.
+* :class:`StreamAead` — SHA-256 counter-mode stream + HMAC-SHA256; the
+  default for bulk intermediate data (see :mod:`repro.crypto.stream` for
+  the substitution rationale).
+
+Both derive independent encryption and MAC subkeys from the caller's key
+via HKDF, authenticate the nonce and optional associated data, and verify
+tags in constant time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from ..errors import AuthenticationError, DecryptionError
+from .kdf import derive_subkey
+from .modes import CTR
+from .stream import NONCE_SIZE, StreamCipher
+
+TAG_SIZE = 32
+#: Total bytes an AEAD frame adds over its plaintext.
+AEAD_OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+
+class _EncryptThenMac:
+    """Shared encrypt-then-MAC logic over an abstract keystream processor."""
+
+    #: Name mixed into the MAC so frames from different schemes never verify.
+    scheme_label = "aead"
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise ValueError("AEAD key must be at least 16 bytes")
+        self._mac_key = derive_subkey(key, f"{self.scheme_label}/mac")
+        enc_key = derive_subkey(key, f"{self.scheme_label}/enc")
+        self._processor = self._make_processor(enc_key)
+
+    def _make_processor(self, enc_key: bytes):
+        raise NotImplementedError
+
+    def _process(self, nonce: bytes, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def _tag(self, nonce: bytes, ciphertext: bytes, associated_data: bytes) -> bytes:
+        mac = hmac.new(self._mac_key, digestmod=hashlib.sha256)
+        mac.update(len(associated_data).to_bytes(8, "big"))
+        mac.update(associated_data)
+        mac.update(nonce)
+        mac.update(ciphertext)
+        return mac.digest()
+
+    def encrypt(
+        self,
+        plaintext: bytes,
+        associated_data: bytes = b"",
+        *,
+        nonce: bytes | None = None,
+    ) -> bytes:
+        """Encrypt and authenticate; returns a self-contained frame.
+
+        A random nonce is drawn unless the caller supplies one (callers
+        doing so are responsible for uniqueness per key).
+        """
+        if nonce is None:
+            nonce = os.urandom(NONCE_SIZE)
+        if len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+        ciphertext = self._process(nonce, plaintext)
+        return nonce + ciphertext + self._tag(nonce, ciphertext, associated_data)
+
+    def decrypt(self, frame: bytes, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt a frame produced by :meth:`encrypt`."""
+        if len(frame) < AEAD_OVERHEAD:
+            raise DecryptionError("AEAD frame is too short")
+        nonce = frame[:NONCE_SIZE]
+        ciphertext = frame[NONCE_SIZE:-TAG_SIZE]
+        tag = frame[-TAG_SIZE:]
+        expected = self._tag(nonce, ciphertext, associated_data)
+        if not hmac.compare_digest(tag, expected):
+            raise AuthenticationError("AEAD tag verification failed")
+        return self._process(nonce, ciphertext)
+
+
+class AesCtrHmacAead(_EncryptThenMac):
+    """Reference AEAD: pure-Python AES-256-CTR with HMAC-SHA256."""
+
+    scheme_label = "aes-ctr-hmac"
+
+    def _make_processor(self, enc_key: bytes) -> CTR:
+        return CTR(enc_key)
+
+    def _process(self, nonce: bytes, data: bytes) -> bytes:
+        return self._processor.process(nonce, data)
+
+
+class StreamAead(_EncryptThenMac):
+    """Bulk AEAD: SHA-256 counter-mode stream with HMAC-SHA256."""
+
+    scheme_label = "stream-hmac"
+
+    def _make_processor(self, enc_key: bytes) -> StreamCipher:
+        return StreamCipher(enc_key)
+
+    def _process(self, nonce: bytes, data: bytes) -> bytes:
+        return self._processor.process(nonce, data)
+
+
+def default_aead(key: bytes) -> StreamAead:
+    """The AEAD the protocol stack uses for enclave-to-enclave traffic."""
+    return StreamAead(key)

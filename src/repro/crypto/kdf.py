@@ -1,0 +1,59 @@
+"""Key derivation: HKDF (RFC 5869) over SHA-256.
+
+Used to derive independent channel, sealing and MAC keys from a single
+Diffie-Hellman shared secret or enclave root key, with domain-separating
+``info`` labels so no two subsystems ever share key material.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudorandom key."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a PRK into ``length`` output bytes."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise ValueError("requested HKDF output is too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(
+    input_key_material: bytes,
+    *,
+    salt: bytes = b"",
+    info: bytes = b"",
+    length: int = 32,
+) -> bytes:
+    """One-shot HKDF-Extract-then-Expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def derive_subkey(root_key: bytes, label: str, length: int = 32) -> bytes:
+    """Derive a purpose-bound subkey from ``root_key``.
+
+    ``label`` must uniquely name the purpose (e.g. ``"sealing"``,
+    ``"channel/gdo-3"``); distinct labels give computationally
+    independent keys.
+    """
+    return hkdf(root_key, info=b"repro.gendpr/" + label.encode("utf-8"), length=length)

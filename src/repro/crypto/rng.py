@@ -1,0 +1,87 @@
+"""Deterministic cryptographically-styled RNG.
+
+The simulation needs two kinds of randomness:
+
+* **System randomness** for real key generation — ``os.urandom``.
+* **Deterministic randomness** for reproducible protocol runs and tests —
+  a hash-based DRBG seeded explicitly, so an entire federated execution
+  (leader election, nonces, synthetic keys) can be replayed bit-for-bit.
+
+``DeterministicRng`` implements the subset of the ``random``-module
+surface the library needs, backed by SHA-256 in counter mode, which makes
+its outputs independent of Python's Mersenne-Twister internals and stable
+across Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+class DeterministicRng:
+    """SHA-256 counter-mode deterministic random generator."""
+
+    def __init__(self, seed: bytes | int | str):
+        if isinstance(seed, int):
+            seed = seed.to_bytes((seed.bit_length() + 8) // 8 or 1, "big", signed=False)
+        elif isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        self._key = hashlib.sha256(b"repro.drbg:" + seed).digest()
+        self._counter = 0
+        self._buffer = b""
+
+    def bytes(self, length: int) -> bytes:
+        """Return ``length`` pseudorandom bytes."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        while len(self._buffer) < length:
+            block = hashlib.sha256(
+                self._key + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    def randbelow(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` via rejection sampling."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        num_bytes = (upper.bit_length() + 7) // 8
+        limit = (256**num_bytes // upper) * upper
+        while True:
+            candidate = int.from_bytes(self.bytes(num_bytes), "big")
+            if candidate < limit:
+                return candidate % upper
+
+    def randrange(self, start: int, stop: int) -> int:
+        """Uniform integer in ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError("empty range")
+        return start + self.randbelow(stop - start)
+
+    def choice(self, sequence):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not sequence:
+            raise IndexError("cannot choose from an empty sequence")
+        return sequence[self.randbelow(len(sequence))]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randbelow(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, label: str) -> "DeterministicRng":
+        """Derive an independent child generator bound to ``label``.
+
+        Forking lets concurrent components draw reproducible randomness
+        without consuming from (and thereby reordering) a shared stream.
+        """
+        return DeterministicRng(self._key + b"/fork:" + label.encode("utf-8"))
+
+
+def system_random_bytes(length: int) -> bytes:
+    """OS-entropy bytes for real key material."""
+    return os.urandom(length)

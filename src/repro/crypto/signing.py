@@ -1,0 +1,69 @@
+"""Message authentication and dataset signing.
+
+Two signing facilities back the simulation's trust chain:
+
+* :class:`MacSigner` — HMAC-SHA256 under a shared symmetric key; used for
+  signed VCF datasets (the trusted module checks genome-data authenticity,
+  Section 4 of the paper) and for attestation-service quotes, where the
+  verifier legitimately holds the same key as the signer (the simulated
+  attestation service plays both roles).
+* :class:`KeyedVerifier` — verification-only wrapper that cannot produce
+  signatures, so components that must only *check* authenticity cannot be
+  misused to forge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from ..errors import AuthenticationError
+
+SIGNATURE_SIZE = 32
+
+
+class MacSigner:
+    """HMAC-SHA256 signer with domain separation per purpose."""
+
+    def __init__(self, key: bytes, purpose: str):
+        if len(key) < 16:
+            raise ValueError("signing key must be at least 16 bytes")
+        if not purpose:
+            raise ValueError("purpose must be non-empty")
+        self._key = key
+        self._purpose = purpose.encode("utf-8")
+
+    def _mac(self, message: bytes) -> bytes:
+        mac = hmac.new(self._key, digestmod=hashlib.sha256)
+        mac.update(len(self._purpose).to_bytes(2, "big"))
+        mac.update(self._purpose)
+        mac.update(message)
+        return mac.digest()
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a 32-byte signature over ``message``."""
+        return self._mac(message)
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`AuthenticationError` unless ``signature`` is valid."""
+        if not hmac.compare_digest(self._mac(message), signature):
+            raise AuthenticationError("signature verification failed")
+
+    def verifier(self) -> "KeyedVerifier":
+        """A verification-only view of this signer."""
+        return KeyedVerifier(self)
+
+
+class KeyedVerifier:
+    """Verification-only facade over a :class:`MacSigner`."""
+
+    def __init__(self, signer: MacSigner):
+        self._verify = signer.verify
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        self._verify(message, signature)
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 digest helper used across the TEE layer."""
+    return hashlib.sha256(data).digest()

@@ -1,0 +1,65 @@
+"""Fast stream cipher for bulk payloads.
+
+The paper's enclaves encrypt everything with AES-256 backed by AES-NI
+hardware.  A pure-Python AES keystream would throttle the benchmarks to
+a few hundred kilobytes per second, distorting the running-time *shape*
+the reproduction must preserve (encryption is not the bottleneck in the
+paper).  This module therefore provides a keyed keystream generator
+whose hot path runs in C:
+
+* the (key, nonce) pair is absorbed by SHA-256 into a 256-bit block, and
+* that block keys a **Philox 4x64 counter-based generator** (numpy's
+  implementation) which expands it into the keystream at memory speed.
+
+Philox is a counter-mode PRF family from the random123 suite — the
+right *shape* for a stream cipher — but it is not a vetted cipher and
+this construction must not be used outside simulation.  The substitution
+is recorded in DESIGN.md; the pure AES-CTR path in
+:mod:`repro.crypto.modes` remains the byte-faithful reference and backs
+the small control messages and key wrapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+NONCE_SIZE = 16
+
+
+class StreamCipher:
+    """SHA-256-keyed Philox counter-mode stream cipher (encrypt == decrypt)."""
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise ValueError("stream key must be at least 16 bytes")
+        self._key = hashlib.sha256(b"repro.stream:" + key).digest()
+
+    def _generator(self, nonce: bytes) -> np.random.Generator:
+        if len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+        seed_block = hashlib.sha256(self._key + nonce).digest()
+        words = np.frombuffer(seed_block, dtype=np.uint64)
+        # Philox-4x64 takes a 128-bit key; fold the 256-bit block onto it
+        # so every seed bit influences the keystream.
+        return np.random.Generator(np.random.Philox(key=words[:2] ^ words[2:]))
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """Generate ``length`` keystream bytes for ``(key, nonce)``."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if length == 0:
+            self._generator(nonce)  # still validates the nonce
+            return b""
+        return self._generator(nonce).bytes(length)
+
+    def process(self, nonce: bytes, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (involution)."""
+        if not data:
+            self._generator(nonce)  # validate nonce for parity with keystream
+            return b""
+        stream = self.keystream(nonce, len(data))
+        data_arr = np.frombuffer(data, dtype=np.uint8)
+        stream_arr = np.frombuffer(stream, dtype=np.uint8)
+        return (data_arr ^ stream_arr).tobytes()

@@ -1,0 +1,134 @@
+"""Exception hierarchy for the GenDPR reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one type at the boundary.  Subsystem-specific
+errors add context (which enclave, which phase, which message) without
+leaking sensitive payloads into exception text.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key has the wrong length or format for the requested primitive."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext or signature failed integrity verification.
+
+    Raised when an AEAD tag or an HMAC signature does not verify.  The
+    payload is never included in the message.
+    """
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext is structurally invalid (too short, bad framing)."""
+
+
+# ---------------------------------------------------------------------------
+# TEE
+# ---------------------------------------------------------------------------
+
+
+class TEEError(ReproError):
+    """Base class for trusted-execution-environment failures."""
+
+
+class AttestationError(TEEError):
+    """A quote failed verification (wrong measurement, signer or nonce)."""
+
+
+class SealingError(TEEError):
+    """Sealed data could not be unsealed by this enclave identity."""
+
+
+class EnclaveCrashedError(TEEError):
+    """An operation was attempted on an enclave that has been torn down."""
+
+
+class EnclaveViolationError(TEEError):
+    """Untrusted code attempted a forbidden access into enclave memory."""
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnknownPeerError(NetworkError):
+    """A message was addressed to a node that is not registered."""
+
+
+class SerializationError(NetworkError):
+    """A payload could not be canonically encoded or decoded."""
+
+
+class ChannelError(NetworkError):
+    """A secure channel was used before establishment or after teardown."""
+
+
+# ---------------------------------------------------------------------------
+# Genomics / data
+# ---------------------------------------------------------------------------
+
+
+class GenomicsError(ReproError):
+    """Base class for genomic-data errors."""
+
+
+class DataIntegrityError(GenomicsError):
+    """A signed dataset (e.g. VCF) failed its authenticity check.
+
+    GenDPR's threat model assumes the trusted module detects tampered
+    genome data; this is the error surfaced on detection.
+    """
+
+
+class PartitionError(GenomicsError):
+    """A cohort could not be split as requested across federation members."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for GenDPR protocol failures."""
+
+
+class PhaseOrderError(ProtocolError):
+    """A protocol phase was invoked out of order."""
+
+
+class CollusionConfigError(ProtocolError):
+    """An invalid number of tolerated colluders was requested."""
+
+
+class MembershipLeakError(ProtocolError):
+    """A release audit found genome-level data in an outbound message.
+
+    This corresponds to a violation of GenDPR's core guarantee that raw
+    genomic information never leaves a member's premises.
+    """

@@ -1,0 +1,41 @@
+"""Genomic data substrate.
+
+* :mod:`~repro.genomics.snp` — SNP metadata and panels.
+* :mod:`~repro.genomics.genotype` — binary genotype matrices and the
+  aggregate views the protocol exchanges.
+* :mod:`~repro.genomics.population` — case/control/reference cohorts.
+* :mod:`~repro.genomics.synthetic` — deterministic synthetic cohort
+  generation (the dbGaP-data substitution; see DESIGN.md).
+* :mod:`~repro.genomics.partition` — equal horizontal splits across
+  federation members.
+* :mod:`~repro.genomics.vcf` — simplified signed VCF files.
+"""
+
+from .genotype import GenotypeMatrix
+from .partition import LocalDataset, partition_cohort
+from .ped import cohort_from_ped, read_map, read_ped, write_map, write_ped
+from .population import Cohort
+from .snp import SnpInfo, SnpPanel
+from .synthetic import SyntheticSpec, SyntheticTruth, generate_cohort
+from .vcf import SignedMatrix, SignedVcf, read_vcf, write_vcf
+
+__all__ = [
+    "GenotypeMatrix",
+    "LocalDataset",
+    "cohort_from_ped",
+    "read_map",
+    "read_ped",
+    "write_map",
+    "write_ped",
+    "partition_cohort",
+    "Cohort",
+    "SnpInfo",
+    "SnpPanel",
+    "SyntheticSpec",
+    "SyntheticTruth",
+    "generate_cohort",
+    "SignedMatrix",
+    "SignedVcf",
+    "read_vcf",
+    "write_vcf",
+]

@@ -1,0 +1,69 @@
+"""Study populations.
+
+A GWAS cohort couples three populations over one SNP panel:
+
+* **case** — individuals exhibiting the phenotype of interest; the
+  population membership attacks target,
+* **control** — the remaining study individuals, and
+* **reference** — a public dataset (1000 Genomes / dbGaP analogue) with
+  an allele distribution similar to the general population, which both
+  the LR-test and the adversary use.
+
+The paper's evaluation uses its control population as the reference;
+:meth:`Cohort.control_as_reference` mirrors that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GenomicsError
+from .genotype import GenotypeMatrix
+from .snp import SnpPanel
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """Case/control/reference populations over one panel."""
+
+    panel: SnpPanel
+    case: GenotypeMatrix
+    control: GenotypeMatrix
+    reference: GenotypeMatrix
+
+    def __post_init__(self) -> None:
+        width = len(self.panel)
+        for name in ("case", "control", "reference"):
+            matrix: GenotypeMatrix = getattr(self, name)
+            if matrix.num_snps != width:
+                raise GenomicsError(
+                    f"{name} population covers {matrix.num_snps} SNPs, "
+                    f"panel has {width}"
+                )
+        if self.case.num_individuals == 0:
+            raise GenomicsError("case population must be non-empty")
+        if self.reference.num_individuals == 0:
+            raise GenomicsError("reference population must be non-empty")
+
+    @property
+    def num_snps(self) -> int:
+        return len(self.panel)
+
+    @classmethod
+    def control_as_reference(
+        cls, panel: SnpPanel, case: GenotypeMatrix, control: GenotypeMatrix
+    ) -> "Cohort":
+        """Build a cohort using the control population as reference.
+
+        This reproduces the paper's setting: "We used the control
+        population as reference for the LR-test."
+        """
+        return cls(panel=panel, case=case, control=control, reference=control)
+
+    def describe(self) -> str:
+        return (
+            f"Cohort({self.case.num_individuals} case / "
+            f"{self.control.num_individuals} control / "
+            f"{self.reference.num_individuals} reference individuals, "
+            f"{self.num_snps} SNPs)"
+        )

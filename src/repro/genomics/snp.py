@@ -1,0 +1,91 @@
+"""SNP metadata and panels.
+
+A GWAS is defined over an ordered panel of SNP positions (the paper's
+``L_des``).  :class:`SnpInfo` carries the per-variant metadata a real
+study would read from a VCF header; :class:`SnpPanel` is the ordered
+collection the protocol indexes into.  Throughout the protocol SNPs are
+referred to by their *panel index*, exactly like the paper's ``l`` in
+``{0, ..., L}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import GenomicsError
+
+
+@dataclass(frozen=True)
+class SnpInfo:
+    """Metadata of one single-nucleotide polymorphism."""
+
+    snp_id: str
+    chromosome: int
+    position: int
+    major_allele: str = "A"
+    minor_allele: str = "G"
+
+    def __post_init__(self) -> None:
+        if not self.snp_id:
+            raise GenomicsError("snp_id must be non-empty")
+        if self.chromosome < 1:
+            raise GenomicsError("chromosome must be >= 1")
+        if self.position < 0:
+            raise GenomicsError("position must be non-negative")
+        if self.major_allele == self.minor_allele:
+            raise GenomicsError("major and minor allele must differ")
+
+
+class SnpPanel:
+    """An ordered, duplicate-free collection of SNPs."""
+
+    def __init__(self, snps: Sequence[SnpInfo]):
+        ids = [snp.snp_id for snp in snps]
+        if len(set(ids)) != len(ids):
+            raise GenomicsError("panel contains duplicate SNP ids")
+        self._snps: Tuple[SnpInfo, ...] = tuple(snps)
+        self._index = {snp.snp_id: i for i, snp in enumerate(self._snps)}
+
+    def __len__(self) -> int:
+        return len(self._snps)
+
+    def __iter__(self) -> Iterator[SnpInfo]:
+        return iter(self._snps)
+
+    def __getitem__(self, index: int) -> SnpInfo:
+        return self._snps[index]
+
+    def index_of(self, snp_id: str) -> int:
+        try:
+            return self._index[snp_id]
+        except KeyError:
+            raise GenomicsError(f"unknown SNP id {snp_id!r}") from None
+
+    def ids(self) -> List[str]:
+        return [snp.snp_id for snp in self._snps]
+
+    def subset(self, indices: Iterable[int]) -> "SnpPanel":
+        """A new panel containing only the SNPs at ``indices`` (in order)."""
+        selected = []
+        for index in indices:
+            if not 0 <= index < len(self._snps):
+                raise GenomicsError(f"SNP index {index} out of range")
+            selected.append(self._snps[index])
+        return SnpPanel(selected)
+
+    @classmethod
+    def synthetic(cls, count: int, chromosome: int = 1) -> "SnpPanel":
+        """A panel of ``count`` evenly spaced synthetic SNPs."""
+        if count <= 0:
+            raise GenomicsError("panel size must be positive")
+        return cls(
+            [
+                SnpInfo(
+                    snp_id=f"rs{chromosome:02d}_{i:06d}",
+                    chromosome=chromosome,
+                    position=1_000 + 500 * i,
+                )
+                for i in range(count)
+            ]
+        )

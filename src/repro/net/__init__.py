@@ -1,0 +1,20 @@
+"""Simulated inter-site network.
+
+* :mod:`~repro.net.serialization` — canonical tagged binary codec.
+* :mod:`~repro.net.message` — envelopes and per-link statistics.
+* :mod:`~repro.net.network` — synchronous router with traffic accounting,
+  a latency/bandwidth clock and partition fault injection.
+"""
+
+from .message import Envelope, LinkStats
+from .network import SimulatedNetwork
+from .serialization import decode, encode, encoded_size
+
+__all__ = [
+    "Envelope",
+    "LinkStats",
+    "SimulatedNetwork",
+    "decode",
+    "encode",
+    "encoded_size",
+]

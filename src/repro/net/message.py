@@ -1,0 +1,49 @@
+"""Message envelopes carried by the simulated network.
+
+An :class:`Envelope` is the untrusted wire unit: routing metadata in the
+clear (sender, receiver, protocol tag) and an opaque body.  For GenDPR
+traffic the body is always a secure-channel frame — the network layer
+never sees plaintext intermediate data, which the audit harness checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One point-to-point message on the simulated network."""
+
+    sender: str
+    receiver: str
+    tag: str
+    body: bytes
+    message_id: int = field(default_factory=lambda: next(_COUNTER))
+
+    def size(self) -> int:
+        """Total bytes on the wire (headers + body)."""
+        return (
+            len(self.sender.encode("utf-8"))
+            + len(self.receiver.encode("utf-8"))
+            + len(self.tag.encode("utf-8"))
+            + 8  # message id
+            + len(self.body)
+        )
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic between one ordered pair of nodes."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+
+    def record(self, envelope: Envelope) -> None:
+        self.messages += 1
+        self.payload_bytes += len(envelope.body)
+        self.wire_bytes += envelope.size()

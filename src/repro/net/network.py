@@ -1,0 +1,144 @@
+"""In-process simulated network.
+
+Federation members run on one machine in this reproduction, so the
+"network" is a synchronous message router with:
+
+* per-node FIFO inboxes,
+* per-link byte/message accounting (feeding the bandwidth analysis of
+  Section 7.1),
+* a simulated clock advanced by a configurable latency/bandwidth profile
+  (:class:`~repro.config.NetworkProfile`), and
+* optional fault injection — dropping a node models the paper's
+  non-responsive members, for which GenDPR makes no liveness guarantee.
+
+Delivery is reliable and ordered per link, matching the TLS-like
+transport an SGX deployment would use between sites.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..config import NetworkProfile
+from ..errors import NetworkError, UnknownPeerError
+from .message import Envelope, LinkStats
+
+
+class SimulatedNetwork:
+    """Synchronous router with traffic accounting and fault injection."""
+
+    def __init__(self, profile: Optional[NetworkProfile] = None):
+        self._profile = profile or NetworkProfile()
+        self._inboxes: Dict[str, Deque[Envelope]] = {}
+        self._links: Dict[Tuple[str, str], LinkStats] = defaultdict(LinkStats)
+        self._partitioned: set[str] = set()
+        self._simulated_time = 0.0
+
+    # -- Topology ---------------------------------------------------------------
+
+    def register(self, node_id: str) -> None:
+        """Attach a node; idempotent registration is an error (typo guard)."""
+        if not node_id:
+            raise NetworkError("node_id must be non-empty")
+        if node_id in self._inboxes:
+            raise NetworkError(f"node {node_id!r} already registered")
+        self._inboxes[node_id] = deque()
+
+    def nodes(self) -> List[str]:
+        return sorted(self._inboxes)
+
+    def partition(self, node_id: str) -> None:
+        """Cut a node off: its sends and receives start failing."""
+        self._require_known(node_id)
+        self._partitioned.add(node_id)
+
+    def heal(self, node_id: str) -> None:
+        """Reconnect a previously partitioned node."""
+        self._partitioned.discard(node_id)
+
+    def _require_known(self, node_id: str) -> None:
+        if node_id not in self._inboxes:
+            raise UnknownPeerError(f"unknown node {node_id!r}")
+
+    def _require_connected(self, node_id: str) -> None:
+        self._require_known(node_id)
+        if node_id in self._partitioned:
+            raise NetworkError(f"node {node_id!r} is partitioned")
+
+    # -- Messaging ---------------------------------------------------------------
+
+    def send(self, envelope: Envelope) -> None:
+        """Deliver one envelope, advancing the simulated clock."""
+        self._require_connected(envelope.sender)
+        self._require_connected(envelope.receiver)
+        if envelope.sender == envelope.receiver:
+            raise NetworkError("a node cannot message itself over the network")
+        self._links[(envelope.sender, envelope.receiver)].record(envelope)
+        self._simulated_time += self._profile.transfer_time(envelope.size())
+        self._inboxes[envelope.receiver].append(envelope)
+
+    def broadcast(
+        self, sender: str, receivers: Iterable[str], tag: str, body: bytes
+    ) -> int:
+        """Send the same body to each receiver; returns envelopes sent."""
+        count = 0
+        for receiver in receivers:
+            if receiver == sender:
+                continue
+            self.send(Envelope(sender=sender, receiver=receiver, tag=tag, body=body))
+            count += 1
+        return count
+
+    def receive(self, node_id: str, tag: Optional[str] = None) -> Envelope:
+        """Pop the next inbox message (optionally requiring a tag).
+
+        The protocol is phase-synchronous, so an empty inbox or a tag
+        mismatch indicates a logic error and raises immediately rather
+        than blocking.
+        """
+        self._require_connected(node_id)
+        inbox = self._inboxes[node_id]
+        if not inbox:
+            raise NetworkError(f"inbox of {node_id!r} is empty")
+        envelope = inbox.popleft()
+        if tag is not None and envelope.tag != tag:
+            raise NetworkError(
+                f"{node_id!r} expected tag {tag!r}, got {envelope.tag!r}"
+            )
+        return envelope
+
+    def drain(self, node_id: str, tag: str, count: int) -> List[Envelope]:
+        """Receive exactly ``count`` messages with ``tag``."""
+        return [self.receive(node_id, tag) for _ in range(count)]
+
+    def pending(self, node_id: str) -> int:
+        self._require_known(node_id)
+        return len(self._inboxes[node_id])
+
+    # -- Accounting ----------------------------------------------------------------
+
+    @property
+    def simulated_time(self) -> float:
+        """Seconds of simulated transfer time accumulated so far."""
+        return self._simulated_time
+
+    def link_stats(self, sender: str, receiver: str) -> LinkStats:
+        return self._links[(sender, receiver)]
+
+    def total_stats(self) -> LinkStats:
+        """Aggregate traffic across every link."""
+        total = LinkStats()
+        for stats in self._links.values():
+            total.messages += stats.messages
+            total.payload_bytes += stats.payload_bytes
+            total.wire_bytes += stats.wire_bytes
+        return total
+
+    def traffic_matrix(self) -> Dict[Tuple[str, str], int]:
+        """Wire bytes per ordered (sender, receiver) pair."""
+        return {
+            link: stats.wire_bytes
+            for link, stats in sorted(self._links.items())
+            if stats.messages
+        }

@@ -1,0 +1,196 @@
+"""Canonical binary serialization for protocol payloads.
+
+The secure channels carry bytes; this codec turns the protocol's values
+(ints, floats, strings, bytes, lists, dicts, numpy arrays) into a
+deterministic tagged binary form.  Determinism matters twice over:
+
+* the same logical payload always produces the same bytes, so message
+  sizes are reproducible for the bandwidth accounting in Table 3, and
+* signed/authenticated payloads verify regardless of dict insertion
+  order (dict keys are sorted).
+
+The format is self-describing (one tag byte per value, big-endian length
+prefixes) and intentionally small — no external schema machinery.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..errors import SerializationError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+_TAG_ARRAY = b"a"
+
+_MAX_DEPTH = 64
+
+
+def _encode_length(value: int) -> bytes:
+    return struct.pack(">Q", value)
+
+
+def _encode_into(value: Any, out: list, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("value nesting exceeds maximum depth")
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        raw = int(value).to_bytes(
+            max(1, (int(value).bit_length() + 8) // 8), "big", signed=True
+        )
+        out.append(_TAG_INT + _encode_length(len(raw)) + raw)
+    elif isinstance(value, (float, np.floating)):
+        out.append(_TAG_FLOAT + struct.pack(">d", float(value)))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR + _encode_length(len(raw)) + raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_TAG_BYTES + _encode_length(len(raw)) + raw)
+    elif isinstance(value, np.ndarray):
+        dtype_name = value.dtype.str.encode("ascii")
+        contiguous = np.ascontiguousarray(value)
+        # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
+        shape = value.shape
+        header = (
+            _encode_length(len(dtype_name))
+            + dtype_name
+            + _encode_length(len(shape))
+            + b"".join(_encode_length(dim) for dim in shape)
+        )
+        raw = contiguous.tobytes()
+        out.append(_TAG_ARRAY + header + _encode_length(len(raw)) + raw)
+    elif isinstance(value, (list, tuple)):
+        tag = _TAG_LIST if isinstance(value, list) else _TAG_TUPLE
+        out.append(tag + _encode_length(len(value)))
+        for item in value:
+            _encode_into(item, out, depth + 1)
+    elif isinstance(value, dict):
+        try:
+            items = sorted(value.items(), key=lambda kv: kv[0])
+        except TypeError as exc:
+            raise SerializationError("dict keys must be sortable") from exc
+        out.append(_TAG_DICT + _encode_length(len(items)))
+        for key, item in items:
+            if not isinstance(key, str):
+                raise SerializationError("dict keys must be strings")
+            _encode_into(key, out, depth + 1)
+            _encode_into(item, out, depth + 1)
+    else:
+        raise SerializationError(f"cannot serialize {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes."""
+    out: list = []
+    _encode_into(value, out, 0)
+    return b"".join(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise SerializationError("truncated payload")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def length(self) -> int:
+        return struct.unpack(">Q", self.take(8))[0]
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _decode_from(reader: _Reader, depth: int) -> Any:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("payload nesting exceeds maximum depth")
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        raw = reader.take(reader.length())
+        return int.from_bytes(raw, "big", signed=True)
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STR:
+        return reader.take(reader.length()).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return reader.take(reader.length())
+    if tag == _TAG_ARRAY:
+        dtype_name = reader.take(reader.length()).decode("ascii")
+        ndim = reader.length()
+        if ndim > 32:
+            raise SerializationError("array has too many dimensions")
+        shape = tuple(reader.length() for _ in range(ndim))
+        raw = reader.take(reader.length())
+        try:
+            array = np.frombuffer(raw, dtype=np.dtype(dtype_name))
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"bad array dtype {dtype_name!r}") from exc
+        expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if array.size != expected:
+            raise SerializationError("array payload size does not match shape")
+        return array.reshape(shape).copy()
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        count = reader.length()
+        items = [_decode_from(reader, depth + 1) for _ in range(count)]
+        return items if tag == _TAG_LIST else tuple(items)
+    if tag == _TAG_DICT:
+        count = reader.length()
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader, depth + 1)
+            if not isinstance(key, str):
+                raise SerializationError("dict keys must decode to strings")
+            result[key] = _decode_from(reader, depth + 1)
+        return result
+    raise SerializationError(f"unknown tag {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`encode`.
+
+    Any malformed input — including adversarial bytes that were never
+    produced by :func:`encode` — raises :class:`SerializationError`;
+    no other exception type escapes.
+    """
+    reader = _Reader(data)
+    try:
+        value = _decode_from(reader, 0)
+    except SerializationError:
+        raise
+    except (UnicodeDecodeError, ValueError, OverflowError, MemoryError) as exc:
+        raise SerializationError(f"malformed payload: {exc}") from exc
+    if not reader.done():
+        raise SerializationError("trailing bytes after payload")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Size in bytes of ``value``'s canonical encoding."""
+    return len(encode(value))

@@ -1,0 +1,123 @@
+"""GWAS contingency tables (paper Tables 2a/2b).
+
+These tables are the classical intermediaries between raw genotypes and
+GWAS statistics.  The protocol itself never ships them — it ships the
+count vectors and moments they are built from — but the baseline, the
+release computation and the tests all use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GenomicsError
+from ..genomics.genotype import GenotypeMatrix
+
+
+@dataclass(frozen=True)
+class SinglewiseTable:
+    """Major/minor allele counts of one SNP in case and control (Table 2a)."""
+
+    case_minor: int
+    case_major: int
+    control_minor: int
+    control_major: int
+
+    def __post_init__(self) -> None:
+        for name in ("case_minor", "case_major", "control_minor", "control_major"):
+            if getattr(self, name) < 0:
+                raise GenomicsError(f"{name} must be non-negative")
+
+    @property
+    def n_case(self) -> int:
+        return self.case_minor + self.case_major
+
+    @property
+    def n_control(self) -> int:
+        return self.control_minor + self.control_major
+
+    @property
+    def n_minor(self) -> int:
+        return self.case_minor + self.control_minor
+
+    @property
+    def n_major(self) -> int:
+        return self.case_major + self.control_major
+
+    @property
+    def n_total(self) -> int:
+        return self.n_case + self.n_control
+
+    def as_array(self) -> np.ndarray:
+        """2x2 array with rows (major, minor) and columns (case, control)."""
+        return np.array(
+            [
+                [self.case_major, self.control_major],
+                [self.case_minor, self.control_minor],
+            ],
+            dtype=np.int64,
+        )
+
+
+@dataclass(frozen=True)
+class PairwiseTable:
+    """Joint allele counts of two SNPs over one population (Table 2b)."""
+
+    c00: int
+    c01: int
+    c10: int
+    c11: int
+
+    def __post_init__(self) -> None:
+        for name in ("c00", "c01", "c10", "c11"):
+            if getattr(self, name) < 0:
+                raise GenomicsError(f"{name} must be non-negative")
+
+    @property
+    def c0_(self) -> int:
+        return self.c00 + self.c01
+
+    @property
+    def c1_(self) -> int:
+        return self.c10 + self.c11
+
+    @property
+    def c_0(self) -> int:
+        return self.c00 + self.c10
+
+    @property
+    def c_1(self) -> int:
+        return self.c01 + self.c11
+
+    @property
+    def total(self) -> int:
+        return self.c0_ + self.c1_
+
+
+def singlewise_table(
+    case: GenotypeMatrix, control: GenotypeMatrix, snp: int
+) -> SinglewiseTable:
+    """Build the Table 2a contingency table for one SNP index."""
+    case_minor = int(case.allele_counts([snp])[0])
+    control_minor = int(control.allele_counts([snp])[0])
+    return SinglewiseTable(
+        case_minor=case_minor,
+        case_major=case.num_individuals - case_minor,
+        control_minor=control_minor,
+        control_major=control.num_individuals - control_minor,
+    )
+
+
+def pairwise_table(
+    population: GenotypeMatrix, left: int, right: int
+) -> PairwiseTable:
+    """Build the Table 2b joint table for a SNP pair over one population."""
+    left_col = population.array()[:, left].astype(bool)
+    right_col = population.array()[:, right].astype(bool)
+    c11 = int(np.count_nonzero(left_col & right_col))
+    c10 = int(np.count_nonzero(left_col & ~right_col))
+    c01 = int(np.count_nonzero(~left_col & right_col))
+    c00 = population.num_individuals - c11 - c10 - c01
+    return PairwiseTable(c00=c00, c01=c01, c10=c10, c11=c11)

@@ -1,0 +1,216 @@
+"""The SecureGenome likelihood-ratio test (Phase 3 mathematics).
+
+The LR statistic of individual ``n`` over a SNP set ``S`` is (paper
+Equation 1)::
+
+    LR_n = sum over l in S of [ x_nl * log(phat_l / p_l)
+                                + (1 - x_nl) * log((1 - phat_l)/(1 - p_l)) ]
+
+where ``p_l`` is the allele frequency in the public reference set and
+``phat_l`` in the case population.  An adversary holding a victim's
+genotype computes this score and decides "victim participated" when it
+exceeds a threshold calibrated on the reference population.
+
+GenDPR distributes the computation: each member builds the **LR-matrix**
+of per-individual, per-SNP contributions for its local case genomes
+(using the *global* frequency vectors broadcast by the leader), and the
+leader merges the matrices and searches for the largest subset of SNPs
+whose empirical identification power stays below the configured
+threshold.  Because every quantity here is either elementwise (matrix
+entries, row sums) or a population fraction, merging local matrices
+yields bit-identical decisions to the centralized computation — the
+invariant Table 4 demonstrates and our tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GenomicsError
+
+#: Frequencies are clipped into [FREQ_EPS, 1-FREQ_EPS] before taking logs.
+FREQ_EPS = 1e-6
+
+
+def clip_frequencies(frequencies: np.ndarray) -> np.ndarray:
+    """Clip frequencies away from {0, 1} so log-ratios stay finite."""
+    return np.clip(np.asarray(frequencies, dtype=np.float64), FREQ_EPS, 1 - FREQ_EPS)
+
+
+def lr_weights(
+    case_frequencies: np.ndarray, reference_frequencies: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-SNP log weights ``(w1, w0)`` of carrying / not carrying the allele.
+
+    ``w1_l = log(phat_l / p_l)``, ``w0_l = log((1-phat_l) / (1-p_l))``.
+    """
+    phat = clip_frequencies(case_frequencies)
+    p = clip_frequencies(reference_frequencies)
+    if phat.shape != p.shape:
+        raise GenomicsError("frequency vectors have different lengths")
+    return np.log(phat / p), np.log((1 - phat) / (1 - p))
+
+
+def lr_matrix(
+    genotypes: np.ndarray,
+    case_frequencies: np.ndarray,
+    reference_frequencies: np.ndarray,
+) -> np.ndarray:
+    """Per-individual, per-SNP LR contributions (the paper's LR-matrix).
+
+    Args:
+        genotypes: ``N x L`` binary array of one population's genotypes.
+        case_frequencies: global case allele frequencies over the same L
+            SNPs (the leader's ``casesAlleleFreq`` broadcast).
+        reference_frequencies: reference-set frequencies (``refAlleleFreq``).
+
+    Returns:
+        ``N x L`` float64 matrix ``M`` with
+        ``M[n, l] = x_nl * w1_l + (1 - x_nl) * w0_l``; the LR score of
+        individual ``n`` over any subset is the corresponding row-sum.
+    """
+    data = np.asarray(genotypes)
+    if data.ndim != 2:
+        raise GenomicsError("genotypes must be a 2-D array")
+    w1, w0 = lr_weights(case_frequencies, reference_frequencies)
+    if data.shape[1] != w1.shape[0]:
+        raise GenomicsError(
+            f"genotypes cover {data.shape[1]} SNPs, frequencies {w1.shape[0]}"
+        )
+    x = data.astype(np.float64)
+    return x * w1 + (1.0 - x) * w0
+
+
+def lr_scores(matrix: np.ndarray, columns: Optional[Sequence[int]] = None) -> np.ndarray:
+    """LR score per individual over a column subset (default: all)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if columns is not None:
+        m = m[:, list(columns)]
+    return m.sum(axis=1)
+
+
+def detection_threshold(reference_scores: np.ndarray, alpha: float) -> float:
+    """Score threshold giving false-positive rate ``alpha`` on the reference.
+
+    Deterministic upper empirical quantile: the smallest reference score
+    such that at most ``alpha`` of the reference population scores above
+    it.  Both the safety verification and the attack evaluation use this
+    same calibration, so "power below threshold" has one meaning.
+    """
+    if not 0 < alpha < 1:
+        raise GenomicsError("alpha must be in (0, 1)")
+    scores = np.sort(np.asarray(reference_scores, dtype=np.float64))
+    if scores.size == 0:
+        raise GenomicsError("reference scores are empty")
+    rank = int(np.ceil((1.0 - alpha) * scores.size)) - 1
+    rank = min(max(rank, 0), scores.size - 1)
+    return float(scores[rank])
+
+
+def empirical_power(
+    case_scores: np.ndarray, reference_scores: np.ndarray, alpha: float
+) -> float:
+    """Fraction of case individuals detected at false-positive rate alpha."""
+    if np.asarray(case_scores).size == 0:
+        raise GenomicsError("case scores are empty")
+    threshold = detection_threshold(reference_scores, alpha)
+    case = np.asarray(case_scores, dtype=np.float64)
+    return float(np.count_nonzero(case > threshold) / case.size)
+
+
+@dataclass(frozen=True)
+class LrSelectionResult:
+    """Outcome of the empirical safe-subset search."""
+
+    selected_columns: List[int]
+    power: float
+    threshold_alpha: float
+    evaluations: int
+
+    def __post_init__(self) -> None:
+        if self.power < 0 or self.power > 1:
+            raise GenomicsError("power must be a probability")
+
+
+def select_safe_subset(
+    case_matrix: np.ndarray,
+    reference_matrix: np.ndarray,
+    order: Sequence[int],
+    *,
+    alpha: float,
+    beta: float,
+    preselected: Optional[Sequence[int]] = None,
+) -> LrSelectionResult:
+    """Find a maximal-by-greedy subset of SNPs with identification power < beta.
+
+    This is SecureGenome's empirical search as GenDPR runs it inside the
+    leader enclave (several iterations over several sets of SNPs,
+    Section 7.2): walk the candidate SNPs in ``order`` — by convention
+    the chi-squared ranking, so the most scientifically valuable SNPs
+    get first claim on the privacy budget — tentatively add each to the
+    release set, recompute the empirical power of the LR detector over
+    the enlarged set, and keep the SNP only if power stays below
+    ``beta``.
+
+    Args:
+        case_matrix: merged ``N_case x L`` LR-matrix.
+        reference_matrix: ``N_ref x L`` LR-matrix of the reference set.
+        order: column evaluation order (e.g. ascending chi-squared
+            p-value).
+        alpha: tolerated false-positive rate of the detector.
+        beta: identification-power threshold the release must stay below.
+        preselected: columns whose statistics are *already public*
+            (earlier releases); their LR contributions seed the running
+            scores so the bound applies to the cumulative exposure, but
+            they are not part of the returned selection.  This is the
+            interdependent-release mode (see
+            :mod:`repro.core.interdependent`).
+
+    The search is deterministic in its inputs, which is what makes the
+    distributed and centralized pipelines agree exactly.
+    """
+    case = np.asarray(case_matrix, dtype=np.float64)
+    reference = np.asarray(reference_matrix, dtype=np.float64)
+    if case.ndim != 2 or reference.ndim != 2:
+        raise GenomicsError("LR matrices must be 2-D")
+    if case.shape[1] != reference.shape[1]:
+        raise GenomicsError("case and reference matrices cover different SNPs")
+    columns = list(order)
+    if any(not 0 <= c < case.shape[1] for c in columns):
+        raise GenomicsError("selection order references unknown columns")
+    if len(set(columns)) != len(columns):
+        raise GenomicsError("selection order contains duplicates")
+    seeded = [int(c) for c in (preselected or [])]
+    if any(not 0 <= c < case.shape[1] for c in seeded):
+        raise GenomicsError("preselected column out of range")
+    if set(seeded) & set(columns):
+        raise GenomicsError("preselected columns overlap the candidate order")
+
+    selected: List[int] = []
+    case_running = lr_scores(case, seeded) if seeded else np.zeros(
+        case.shape[0], dtype=np.float64
+    )
+    ref_running = lr_scores(reference, seeded) if seeded else np.zeros(
+        reference.shape[0], dtype=np.float64
+    )
+    power = empirical_power(case_running, ref_running, alpha) if seeded else 0.0
+    evaluations = 0
+    for column in columns:
+        trial_case = case_running + case[:, column]
+        trial_ref = ref_running + reference[:, column]
+        trial_power = empirical_power(trial_case, trial_ref, alpha)
+        evaluations += 1
+        if trial_power < beta:
+            selected.append(column)
+            case_running = trial_case
+            ref_running = trial_ref
+            power = trial_power
+    return LrSelectionResult(
+        selected_columns=selected,
+        power=power,
+        threshold_alpha=alpha,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,68 @@
+"""Minor allele frequencies (Phase 1 mathematics).
+
+Phase 1 removes SNPs whose *global* MAF — computed over the pooled case
+and reference populations — falls below the cut-off, because rare
+variants form characteristic outliers that membership attacks exploit
+(Section 3.2.1).
+
+Everything here operates on count vectors, never genotypes: the leader
+enclave receives each member's ``caseLocalCounts`` vector and the counts
+of the public reference set, exactly as in the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import GenomicsError
+
+
+def aggregate_counts(count_vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-member allele-count vectors into ``totalGlobalCounts``."""
+    if not count_vectors:
+        raise GenomicsError("need at least one count vector")
+    lengths = {len(v) for v in count_vectors}
+    if len(lengths) != 1:
+        raise GenomicsError("count vectors cover different SNP sets")
+    total = np.zeros(lengths.pop(), dtype=np.int64)
+    for vector in count_vectors:
+        array = np.asarray(vector, dtype=np.int64)
+        if np.any(array < 0):
+            raise GenomicsError("allele counts must be non-negative")
+        total += array
+    return total
+
+
+def allele_frequencies(total_counts: np.ndarray, num_individuals: int) -> np.ndarray:
+    """``globalAlleleFreq[l] = totalGlobalCounts[l] / N_T``."""
+    if num_individuals <= 0:
+        raise GenomicsError("population size must be positive")
+    counts = np.asarray(total_counts, dtype=np.float64)
+    if np.any(counts < 0) or np.any(counts > num_individuals):
+        raise GenomicsError("counts outside [0, N_T]")
+    return counts / float(num_individuals)
+
+
+def folded_maf(frequencies: np.ndarray) -> np.ndarray:
+    """Fold frequencies above 0.5 to the minor allele's frequency.
+
+    The paper's encoding already designates the minor allele as 1, but a
+    finite sample can push an empirical frequency above 0.5; folding
+    keeps the cut-off semantics ("rarer allele below threshold") exact.
+    """
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    return np.minimum(freqs, 1.0 - freqs)
+
+
+def maf_filter(frequencies: np.ndarray, maf_cutoff: float) -> List[int]:
+    """Indices of SNPs whose folded MAF is at or above the cut-off.
+
+    This is the Phase 1 decision: SNP ``l`` is retained iff
+    ``MAF_l >= MAF_cutoff``.
+    """
+    if not 0.0 <= maf_cutoff < 0.5:
+        raise GenomicsError("maf_cutoff must be in [0, 0.5)")
+    mafs = folded_maf(frequencies)
+    return [int(i) for i in np.nonzero(mafs >= maf_cutoff)[0]]

@@ -1,0 +1,130 @@
+"""Release utility metrics.
+
+GenDPR's whole purpose is to publish *as much as possible* safely: "a
+higher number of retained SNPs ... means also more from the original
+interest set of SNPs can be published" (paper Section 7.2).  This
+module quantifies what a verified release preserves of the study's
+scientific value, so federations can reason about the privacy/utility
+trade-off concretely:
+
+* :func:`retention_rate` — the blunt fraction of desired SNPs released.
+* :func:`top_k_recall` — how many of the study's *most significant*
+  associations (the SNPs researchers actually care about) survive.
+* :func:`significance_mass_retained` — the share of total chi-squared
+  evidence that remains public.
+* :func:`utility_report` — all of the above in one structure, used by
+  the examples and available to downstream operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GenomicsError
+
+
+def _validate(released: Sequence[int], statistics: np.ndarray) -> np.ndarray:
+    stats = np.asarray(statistics, dtype=np.float64)
+    if stats.ndim != 1:
+        raise GenomicsError("statistics must be a vector over L_des")
+    if np.any(stats < 0):
+        raise GenomicsError("chi-squared statistics must be non-negative")
+    released_set = set(int(s) for s in released)
+    if len(released_set) != len(list(released)):
+        raise GenomicsError("released list contains duplicates")
+    if released_set and (min(released_set) < 0 or max(released_set) >= stats.size):
+        raise GenomicsError("released SNP index out of range")
+    return stats
+
+
+def retention_rate(released: Sequence[int], num_desired: int) -> float:
+    """Fraction of the desired panel whose statistics are published."""
+    if num_desired <= 0:
+        raise GenomicsError("num_desired must be positive")
+    released_set = set(int(s) for s in released)
+    if released_set and max(released_set) >= num_desired:
+        raise GenomicsError("released SNP index out of range")
+    return len(released_set) / num_desired
+
+
+def top_k_recall(
+    released: Sequence[int], statistics: np.ndarray, k: int
+) -> float:
+    """Share of the k most significant SNPs that are released.
+
+    "The SNPs with the smallest p-values are the most significant" —
+    equivalently, the largest chi-squared statistics.  Ties are broken
+    by panel order, matching the pipeline's stable ranking.
+    """
+    stats = _validate(released, statistics)
+    if not 0 < k <= stats.size:
+        raise GenomicsError("k must be in 1..L_des")
+    order = np.argsort(-stats, kind="stable")[:k]
+    released_set = set(int(s) for s in released)
+    return sum(1 for snp in order if int(snp) in released_set) / k
+
+
+def significance_mass_retained(
+    released: Sequence[int], statistics: np.ndarray
+) -> float:
+    """Fraction of total chi-squared evidence the release preserves.
+
+    A mass-weighted view: releasing many null SNPs while withholding
+    the hits scores poorly even when the retention *rate* looks good.
+    """
+    stats = _validate(released, statistics)
+    total = float(stats.sum())
+    if total == 0.0:
+        return 1.0 if len(list(released)) == stats.size else 0.0
+    released_list = [int(s) for s in released]
+    return float(stats[released_list].sum()) / total if released_list else 0.0
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Privacy/utility summary of one release."""
+
+    num_desired: int
+    num_released: int
+    retention: float
+    top10_recall: float
+    top50_recall: float
+    significance_mass: float
+
+    def __str__(self) -> str:
+        return (
+            f"released {self.num_released}/{self.num_desired} SNPs "
+            f"({100 * self.retention:.1f}%), top-10 recall "
+            f"{100 * self.top10_recall:.0f}%, top-50 recall "
+            f"{100 * self.top50_recall:.0f}%, significance mass "
+            f"{100 * self.significance_mass:.1f}%"
+        )
+
+
+def utility_report(
+    released: Sequence[int], statistics: np.ndarray
+) -> UtilityReport:
+    """Full utility summary of a release against the study statistics.
+
+    ``statistics`` are the chi-squared values over the *entire* desired
+    panel (computed inside the leader enclave; publishing the report is
+    a federation-governance decision, not part of the open release).
+    """
+    stats = _validate(released, statistics)
+    num_desired = stats.size
+    released_list = [int(s) for s in released]
+    return UtilityReport(
+        num_desired=num_desired,
+        num_released=len(released_list),
+        retention=retention_rate(released_list, num_desired),
+        top10_recall=top_k_recall(
+            released_list, stats, min(10, num_desired)
+        ),
+        top50_recall=top_k_recall(
+            released_list, stats, min(50, num_desired)
+        ),
+        significance_mass=significance_mass_retained(released_list, stats),
+    )

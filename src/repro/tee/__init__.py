@@ -1,0 +1,75 @@
+"""Trusted Execution Environment simulation.
+
+A faithful software model of the SGX facilities GenDPR builds on:
+
+* :mod:`~repro.tee.measurement` — enclave code identity (MRENCLAVE).
+* :mod:`~repro.tee.enclave` — the ECALL trust boundary and resource
+  metering.
+* :mod:`~repro.tee.sealing` — MRENCLAVE-policy sealed storage.
+* :mod:`~repro.tee.attestation` — platforms, quotes and the attestation
+  service.
+* :mod:`~repro.tee.channel` — mutually attested encrypted channels.
+
+See DESIGN.md for why simulation (rather than Gramine-wrapped hardware
+enclaves) is the right substrate for this reproduction.
+"""
+
+from .attestation import (
+    AttestationService,
+    Platform,
+    Quote,
+    QuoteVerifier,
+    pack_report_data,
+)
+from .channel import ChannelEndpoint, HandshakeMessage, establish_channel
+from .enclave import (
+    Enclave,
+    GuardedEnclaveProxy,
+    ecall,
+    expected_measurement,
+    guarded,
+)
+from .measurement import Measurement, measure_blob, measure_class
+from .oblivious import (
+    oblivious_maf_mask,
+    oblivious_prefix_selection,
+    oblivious_quantile_threshold,
+    oblivious_select,
+    oblivious_sort,
+)
+from .resources import BASELINE_MEMORY_BYTES, ResourceMeter, ResourceReport
+from .sealing import SealedBlob, seal, unseal
+from .storage import ColumnReader, SealedColumnStore, seal_matrix
+
+__all__ = [
+    "AttestationService",
+    "Platform",
+    "Quote",
+    "QuoteVerifier",
+    "pack_report_data",
+    "ChannelEndpoint",
+    "HandshakeMessage",
+    "establish_channel",
+    "Enclave",
+    "GuardedEnclaveProxy",
+    "ecall",
+    "expected_measurement",
+    "guarded",
+    "Measurement",
+    "oblivious_maf_mask",
+    "oblivious_prefix_selection",
+    "oblivious_quantile_threshold",
+    "oblivious_select",
+    "oblivious_sort",
+    "measure_blob",
+    "measure_class",
+    "BASELINE_MEMORY_BYTES",
+    "ResourceMeter",
+    "ResourceReport",
+    "SealedBlob",
+    "seal",
+    "unseal",
+    "ColumnReader",
+    "SealedColumnStore",
+    "seal_matrix",
+]

@@ -1,0 +1,173 @@
+"""Remote attestation (simulated quoting infrastructure).
+
+The paper relies on SGX remote attestation so that "only a properly
+authenticated enclave" receives intermediate data.  The simulation models
+the standard EPID/DCAP flow with three roles:
+
+* :class:`AttestationService` — the trusted authority (Intel's IAS/QE
+  analogue).  Platforms register with it and receive a platform-bound
+  quoting key.
+* :func:`generate_quote` — an enclave asks its platform to quote it: the
+  quote binds the enclave *measurement* and caller-chosen *report data*
+  (typically a hash of a DH public key and a handshake nonce) under the
+  platform's quoting key.
+* :func:`AttestationService.verify_quote` — any party holding a verifier
+  handle checks a quote's signature, platform registration status and,
+  critically, that the measurement equals the expected trusted-code
+  measurement.
+
+Revoking a platform (e.g. after compromise) invalidates all its future
+quotes, which the tests exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..crypto.kdf import derive_subkey
+from ..crypto.rng import system_random_bytes
+from ..crypto.signing import MacSigner
+from ..errors import AttestationError, AuthenticationError
+from .enclave import Enclave
+from .measurement import MEASUREMENT_SIZE, Measurement
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement for one enclave on one platform."""
+
+    platform_id: str
+    measurement: Measurement
+    report_data: bytes
+    signature: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.report_data) != REPORT_DATA_SIZE:
+            raise AttestationError(
+                f"report data must be exactly {REPORT_DATA_SIZE} bytes"
+            )
+
+    def signed_payload(self) -> bytes:
+        return (
+            b"repro.quote/v1\x00"
+            + self.platform_id.encode("utf-8")
+            + b"\x00"
+            + self.measurement.value
+            + self.report_data
+        )
+
+
+def pack_report_data(*items: bytes) -> bytes:
+    """Hash arbitrary handshake material into fixed-size report data.
+
+    The first 32 bytes are a SHA-256 over the length-prefixed items; the
+    rest is zero padding, mirroring how SGX report data is commonly used.
+    """
+    hasher = hashlib.sha256()
+    for item in items:
+        hasher.update(len(item).to_bytes(8, "big"))
+        hasher.update(item)
+    return hasher.digest() + bytes(REPORT_DATA_SIZE - MEASUREMENT_SIZE)
+
+
+class Platform:
+    """A TEE-enabled machine: root key + quoting credentials."""
+
+    def __init__(self, platform_id: str, quoting_key: bytes, root_key: bytes):
+        self.platform_id = platform_id
+        self.root_key = root_key
+        self._quote_signer = MacSigner(quoting_key, purpose="quote")
+
+    def quote_enclave(self, enclave: Enclave, report_data: bytes) -> Quote:
+        """Produce a quote over an enclave hosted on this platform."""
+        quote = Quote(
+            platform_id=self.platform_id,
+            measurement=enclave.measurement,
+            report_data=report_data,
+            signature=b"\x00" * 32,
+        )
+        signature = self._quote_signer.sign(quote.signed_payload())
+        return Quote(
+            platform_id=quote.platform_id,
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            signature=signature,
+        )
+
+
+class AttestationService:
+    """Simulated attestation authority.
+
+    Holds a master secret; each registered platform's quoting key is
+    derived from it, so the service can re-derive the key to verify any
+    platform's quotes without a database of raw keys.
+    """
+
+    def __init__(self, master_secret: Optional[bytes] = None):
+        self._master = master_secret or system_random_bytes(32)
+        self._platforms: Dict[str, Platform] = {}
+        self._revoked: set[str] = set()
+
+    def register_platform(self, platform_id: str) -> Platform:
+        """Provision a new TEE-enabled machine."""
+        if not platform_id:
+            raise AttestationError("platform_id must be non-empty")
+        if platform_id in self._platforms:
+            raise AttestationError(f"platform {platform_id!r} already registered")
+        platform = Platform(
+            platform_id,
+            quoting_key=derive_subkey(self._master, "quoting/" + platform_id),
+            root_key=derive_subkey(self._master, "root/" + platform_id),
+        )
+        self._platforms[platform_id] = platform
+        return platform
+
+    def revoke_platform(self, platform_id: str) -> None:
+        """Blacklist a platform; its quotes stop verifying."""
+        self._revoked.add(platform_id)
+
+    def verify_quote(self, quote: Quote, expected: Measurement) -> None:
+        """Check signature, registration, revocation and measurement.
+
+        Raises :class:`AttestationError` with a cause-specific message on
+        any failure; returns ``None`` on success.
+        """
+        if quote.platform_id not in self._platforms:
+            raise AttestationError(
+                f"quote from unregistered platform {quote.platform_id!r}"
+            )
+        if quote.platform_id in self._revoked:
+            raise AttestationError(
+                f"platform {quote.platform_id!r} has been revoked"
+            )
+        signer = MacSigner(
+            derive_subkey(self._master, "quoting/" + quote.platform_id),
+            purpose="quote",
+        )
+        try:
+            signer.verify(quote.signed_payload(), quote.signature)
+        except AuthenticationError as exc:
+            raise AttestationError("quote signature verification failed") from exc
+        if quote.measurement != expected:
+            raise AttestationError(
+                "measurement mismatch: enclave is not running the expected "
+                f"trusted code (got {quote.measurement!r})"
+            )
+
+    def verifier(self) -> "QuoteVerifier":
+        """A verification-only handle safe to distribute to all members."""
+        return QuoteVerifier(self)
+
+
+class QuoteVerifier:
+    """Verification-only facade over the attestation service."""
+
+    def __init__(self, service: AttestationService):
+        self._service = service
+
+    def verify(self, quote: Quote, expected: Measurement) -> None:
+        self._service.verify_quote(quote, expected)

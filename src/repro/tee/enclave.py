@@ -1,0 +1,205 @@
+"""The enclave execution model.
+
+An :class:`Enclave` is the simulation's unit of trust.  It mirrors the
+SGX programming model the paper builds on:
+
+* Untrusted host code interacts with the enclave **only** through
+  registered ECALLs (:meth:`Enclave.ecall`); direct attribute access to
+  trusted state from outside raises :class:`EnclaveViolationError` in
+  audited runs (see :meth:`trusted_state_names`).
+* Each enclave has a :class:`~repro.tee.measurement.Measurement`
+  identifying its code, and a platform-bound root key from which sealing
+  keys derive.
+* All ECALL execution is metered by a
+  :class:`~repro.tee.resources.ResourceMeter` so the benchmarks can
+  reproduce the paper's CPU/memory table.
+
+Subclasses implement trusted logic as ordinary methods decorated with
+:func:`ecall`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Optional, Set, Type, TypeVar
+
+from ..crypto.kdf import derive_subkey
+from ..crypto.rng import DeterministicRng, system_random_bytes
+from ..errors import EnclaveCrashedError, EnclaveViolationError, TEEError
+from .measurement import Measurement, measure_class
+from .resources import ResourceMeter
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_ECALL_ATTR = "_repro_ecall_name"
+
+
+def ecall(func: F) -> F:
+    """Mark a method as an ECALL entry point of its enclave class."""
+    setattr(func, _ECALL_ATTR, func.__name__)
+    return func
+
+
+class Enclave:
+    """Base class for simulated enclaves.
+
+    Args:
+        platform_key: secret root key of the hosting platform (models the
+            CPU's fused key material).  Sealing keys are derived from it
+            together with the enclave measurement.
+        enclave_id: stable identifier of this enclave instance within the
+            federation (e.g. ``"gdo-3"``).
+        rng: deterministic RNG for reproducible runs; a system-entropy
+            DRBG is created when omitted.
+    """
+
+    #: Bump to invalidate attestation of older trusted-code revisions.
+    CODE_VERSION = "1"
+
+    def __init__(
+        self,
+        platform_key: bytes,
+        enclave_id: str,
+        rng: Optional[DeterministicRng] = None,
+    ):
+        if len(platform_key) < 16:
+            raise TEEError("platform key must be at least 16 bytes")
+        if not enclave_id:
+            raise TEEError("enclave_id must be non-empty")
+        self.enclave_id = enclave_id
+        self.measurement: Measurement = measure_class(
+            type(self), version=self.CODE_VERSION
+        )
+        self.meter = ResourceMeter()
+        self._crashed = False
+        self._platform_key = platform_key
+        self._rng = rng if rng is not None else DeterministicRng(
+            system_random_bytes(32)
+        )
+        self._ecalls = self._collect_ecalls()
+
+    # -- ECALL machinery -------------------------------------------------------
+
+    @classmethod
+    def _collect_ecalls(cls) -> Dict[str, str]:
+        names: Dict[str, str] = {}
+        for klass in cls.__mro__:
+            for attr_name, attr in vars(klass).items():
+                ecall_name = getattr(attr, _ECALL_ATTR, None)
+                if ecall_name is not None and ecall_name not in names:
+                    names[ecall_name] = attr_name
+        return names
+
+    def ecall_names(self) -> Set[str]:
+        """The ECALL surface exposed to untrusted code."""
+        return set(self._ecalls)
+
+    def ecall(self, name: str, *args: Any, label: str = "", **kwargs: Any) -> Any:
+        """Invoke ECALL ``name``; execution time is metered under ``label``.
+
+        This is the *only* legitimate entry into trusted code from the
+        untrusted host.
+        """
+        if self._crashed:
+            raise EnclaveCrashedError(f"enclave {self.enclave_id} has crashed")
+        if name not in self._ecalls:
+            raise EnclaveViolationError(
+                f"{name!r} is not an ECALL of {type(self).__name__}"
+            )
+        method = getattr(self, self._ecalls[name])
+        with self.meter.measure(label or name):
+            return method(*args, **kwargs)
+
+    def crash(self) -> None:
+        """Tear the enclave down; all trusted state becomes unreachable.
+
+        Models the paper's fault assumption ("as long as no TEE crashes"):
+        after a crash every ECALL raises and secrets are destroyed.
+        """
+        self._crashed = True
+        self._platform_key = b"\x00" * 32
+        self._rng = DeterministicRng(b"crashed")
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # -- Keys ----------------------------------------------------------------
+
+    def _sealing_key(self) -> bytes:
+        """MRENCLAVE-policy sealing key: platform key x measurement."""
+        if self._crashed:
+            raise EnclaveCrashedError(f"enclave {self.enclave_id} has crashed")
+        return derive_subkey(
+            self._platform_key, "sealing/" + self.measurement.hex()
+        )
+
+    def random_bytes(self, length: int) -> bytes:
+        """Trusted randomness (hardware DRNG analogue)."""
+        return self._rng.bytes(length)
+
+    # -- Auditing ----------------------------------------------------------------
+
+    @classmethod
+    def trusted_state_names(cls) -> Set[str]:
+        """Attribute names that hold trusted state.
+
+        The audit harness in :mod:`repro.core.audit` uses this to verify
+        untrusted code never reads them directly.  Subclasses extend it.
+        """
+        return {"_platform_key", "_rng"}
+
+
+def expected_measurement(enclave_class: Type[Enclave]) -> Measurement:
+    """The measurement attestation verifiers should demand for a class."""
+    return measure_class(enclave_class, version=enclave_class.CODE_VERSION)
+
+
+class GuardedEnclaveProxy:
+    """Wraps an enclave so only the ECALL surface is reachable.
+
+    The protocol hands untrusted components this proxy instead of the raw
+    enclave object, turning the simulation's trust boundary into an
+    enforced API boundary: attribute access other than ``ecall``/identity
+    raises :class:`EnclaveViolationError`.
+    """
+
+    _ALLOWED = {"ecall", "enclave_id", "measurement", "meter", "crashed"}
+
+    def __init__(self, enclave: Enclave):
+        object.__setattr__(self, "_enclave", enclave)
+
+    def __getattr__(self, name: str) -> Any:
+        if name in self._ALLOWED:
+            return getattr(object.__getattribute__(self, "_enclave"), name)
+        raise EnclaveViolationError(
+            f"untrusted access to enclave attribute {name!r} denied"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise EnclaveViolationError("untrusted code cannot mutate enclave state")
+
+
+def guarded(enclave: Enclave) -> GuardedEnclaveProxy:
+    """Convenience constructor for :class:`GuardedEnclaveProxy`."""
+    return GuardedEnclaveProxy(enclave)
+
+
+def ecall_method(label: str) -> Callable[[F], F]:
+    """Decorator stacking :func:`ecall` with a fixed metering label.
+
+    Useful for enclaves whose ECALLs always belong to one protocol phase.
+    """
+
+    def decorate(func: F) -> F:
+        marked = ecall(func)
+
+        @functools.wraps(marked)
+        def wrapper(self: Enclave, *args: Any, **kwargs: Any) -> Any:
+            with self.meter.measure(label):
+                return marked(self, *args, **kwargs)
+
+        setattr(wrapper, _ECALL_ATTR, getattr(marked, _ECALL_ATTR))
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,79 @@
+"""Enclave code measurement (the MRENCLAVE analogue).
+
+Intel SGX identifies an enclave by a hash of its initial code and data
+pages.  The simulation measures the *source code* of the enclave class
+(plus an explicit version label), which preserves the property the
+protocol relies on: two parties running byte-identical trusted code
+obtain the same measurement, and any tampering with the trusted module
+changes it and breaks attestation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass
+from typing import Type
+
+MEASUREMENT_SIZE = 32
+
+
+@dataclass(frozen=True, order=True)
+class Measurement:
+    """A 32-byte enclave identity hash."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) != MEASUREMENT_SIZE:
+            raise ValueError(f"measurement must be {MEASUREMENT_SIZE} bytes")
+
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def __repr__(self) -> str:  # short form keeps logs readable
+        return f"Measurement({self.value.hex()[:12]}…)"
+
+
+_MEASUREMENT_CACHE: dict = {}
+
+
+def measure_class(enclave_class: Type, version: str = "1") -> Measurement:
+    """Measure an enclave class: hash of its qualified name, source and version.
+
+    The measurement is cached per (class, version): like SGX, which
+    hashes an enclave's pages once at load, all instances of one
+    trusted-code build in a process share one measurement even if the
+    source file changes on disk afterwards.
+
+    Falls back to the qualified name alone when source is unavailable
+    (e.g. classes defined in a REPL), which still distinguishes enclave
+    types, just not code revisions.
+    """
+    cache_key = (enclave_class, version)
+    cached = _MEASUREMENT_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(b"repro.enclave-measurement/v1\x00")
+    hasher.update(enclave_class.__qualname__.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(version.encode("utf-8"))
+    hasher.update(b"\x00")
+    try:
+        hasher.update(inspect.getsource(enclave_class).encode("utf-8"))
+    except (OSError, TypeError):
+        pass
+    measurement = Measurement(hasher.digest())
+    _MEASUREMENT_CACHE[cache_key] = measurement
+    return measurement
+
+
+def measure_blob(code: bytes, version: str = "1") -> Measurement:
+    """Measure raw code bytes (used by tests and tampering experiments)."""
+    hasher = hashlib.sha256()
+    hasher.update(b"repro.enclave-measurement/blob/v1\x00")
+    hasher.update(version.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(code)
+    return Measurement(hasher.digest())

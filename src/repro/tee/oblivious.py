@@ -1,0 +1,206 @@
+"""Data-oblivious computation primitives.
+
+The paper's conclusion names an oblivious GenDPR as future work: SGX
+enclaves leak memory access patterns, and an adversary observing which
+cache lines the trusted module touches can reconstruct data-dependent
+branches — e.g. which SNPs survived a filter.  This module implements
+the standard oblivious building blocks and oblivious variants of the
+protocol's leakiest steps, so the overhead the paper anticipates can be
+measured (see ``benchmarks/bench_ablation_oblivious.py``).
+
+Design rules all functions here follow:
+
+* every element of every input is touched exactly the same number of
+  times regardless of the data (linear scans, fixed networks);
+* branches depend only on public values (sizes, loop indices), never on
+  secrets — selections are computed with arithmetic masks; and
+* outputs have data-independent *shapes* (fixed-length masks instead of
+  variable-length index lists).
+
+These are simulations of obliviousness — Python offers no constant-time
+guarantees — but they preserve exactly the property a reviewer of the
+algorithm needs: the sequence of array positions touched is a function
+of public parameters only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TEEError
+
+
+def oblivious_select(values: np.ndarray, index: int) -> float:
+    """Read ``values[index]`` while touching every element.
+
+    A direct ``values[index]`` would reveal ``index`` through the access
+    pattern; the oblivious version multiplies every element by an
+    equality mask and sums.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise TEEError("oblivious_select works on vectors")
+    if not 0 <= index < array.size:
+        raise TEEError("index out of range")
+    mask = np.arange(array.size) == index  # touches every position
+    return float(np.sum(array * mask))
+
+
+def oblivious_write(values: np.ndarray, index: int, value: float) -> np.ndarray:
+    """Write ``value`` at ``index`` touching every element; returns a copy."""
+    array = np.asarray(values, dtype=np.float64).copy()
+    if not 0 <= index < array.size:
+        raise TEEError("index out of range")
+    mask = np.arange(array.size) == index
+    return array * ~mask + value * mask
+
+
+def oblivious_choose(condition: bool, if_true: float, if_false: float) -> float:
+    """Branch-free two-way selection."""
+    flag = 1.0 if condition else 0.0  # the caller's condition is secret;
+    # both arms are evaluated and combined arithmetically.
+    return flag * if_true + (1.0 - flag) * if_false
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def oblivious_sort(values: np.ndarray) -> np.ndarray:
+    """Bitonic sort: a fixed comparison network independent of the data.
+
+    The sequence of compare-exchange index pairs depends only on the
+    (padded) length, so an observer of the access pattern learns nothing
+    about the values.  Input is padded to a power of two with ``+inf``
+    sentinels that sort to the end and are stripped before returning.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise TEEError("oblivious_sort works on vectors")
+    n = array.size
+    if n == 0:
+        return array.copy()
+    size = _next_power_of_two(n)
+    padded = np.concatenate([array, np.full(size - n, np.inf)])
+
+    # Classic iterative bitonic network: for each stage k and sub-stage
+    # j, compare-exchange every pair (i, i^j) with a direction given by
+    # bit k of i — all indices are functions of (size) alone.
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            indices = np.arange(size)
+            partners = indices ^ j
+            active = partners > indices
+            i_idx = indices[active]
+            p_idx = partners[active]
+            ascending = (i_idx & k) == 0
+            left = padded[i_idx]
+            right = padded[p_idx]
+            swap = np.where(ascending, left > right, left < right)
+            new_left = np.where(swap, right, left)
+            new_right = np.where(swap, left, right)
+            padded[i_idx] = new_left
+            padded[p_idx] = new_right
+            j //= 2
+        k *= 2
+    return padded[:n]
+
+
+def oblivious_quantile_threshold(scores: np.ndarray, alpha: float) -> float:
+    """Oblivious analogue of :func:`repro.stats.lr_test.detection_threshold`.
+
+    Sorts with the bitonic network and reads the quantile position with
+    an oblivious select, so neither the order statistics nor the chosen
+    rank leak through access patterns (the rank is public given alpha
+    and the public population size, but the pattern stays uniform).
+    """
+    if not 0 < alpha < 1:
+        raise TEEError("alpha must be in (0, 1)")
+    array = np.asarray(scores, dtype=np.float64)
+    if array.size == 0:
+        raise TEEError("scores are empty")
+    ordered = oblivious_sort(array)
+    rank = int(np.ceil((1.0 - alpha) * array.size)) - 1
+    rank = min(max(rank, 0), array.size - 1)
+    return oblivious_select(ordered, rank)
+
+
+def oblivious_maf_mask(
+    frequencies: np.ndarray, maf_cutoff: float
+) -> np.ndarray:
+    """Phase 1 as an oblivious computation.
+
+    The non-oblivious filter returns a variable-length index list whose
+    *length and construction pattern* reveal which SNPs are rare.  The
+    oblivious variant returns a fixed-shape 0/1 mask computed with pure
+    elementwise arithmetic — identical information for the caller, no
+    data-dependent accesses.
+    """
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    folded = np.minimum(freqs, 1.0 - freqs)
+    return (folded >= maf_cutoff).astype(np.uint8)
+
+
+def oblivious_empirical_power(
+    case_scores: np.ndarray, reference_scores: np.ndarray, alpha: float
+) -> float:
+    """Oblivious analogue of the empirical power estimate.
+
+    Every case score is compared against the threshold (vectorised
+    full-array comparison); the count is a sum over the whole mask.
+    """
+    case = np.asarray(case_scores, dtype=np.float64)
+    if case.size == 0:
+        raise TEEError("case scores are empty")
+    threshold = oblivious_quantile_threshold(reference_scores, alpha)
+    return float(np.sum((case > threshold).astype(np.float64)) / case.size)
+
+
+def oblivious_prefix_selection(
+    case_matrix: np.ndarray,
+    reference_matrix: np.ndarray,
+    order: np.ndarray,
+    *,
+    alpha: float,
+    beta: float,
+) -> Tuple[np.ndarray, float]:
+    """An oblivious variant of the Phase 3 safe-subset search.
+
+    The greedy's control flow is data-dependent (skip vs keep); here
+    every candidate column is processed with the identical instruction
+    sequence: the running score vectors are updated through arithmetic
+    masks, so an observer sees one fixed pass over the matrix columns
+    regardless of which SNPs end up selected.
+
+    Returns a fixed-shape 0/1 selection mask (over positions of
+    ``order``) and the final power — the same decisions as
+    :func:`repro.stats.lr_test.select_safe_subset` (tests assert this),
+    at the oblivious-execution price the ablation bench quantifies.
+    """
+    case = np.asarray(case_matrix, dtype=np.float64)
+    reference = np.asarray(reference_matrix, dtype=np.float64)
+    order = np.asarray(order, dtype=np.int64)
+    selected = np.zeros(order.size, dtype=np.uint8)
+    case_running = np.zeros(case.shape[0], dtype=np.float64)
+    ref_running = np.zeros(reference.shape[0], dtype=np.float64)
+    power = 0.0
+    for position in range(order.size):
+        column = int(order[position])
+        trial_case = case_running + case[:, column]
+        trial_ref = ref_running + reference[:, column]
+        trial_power = oblivious_empirical_power(trial_case, trial_ref, alpha)
+        keep = trial_power < beta
+        mask = 1.0 if keep else 0.0
+        # Branch-free state update: both arms computed, mask-combined.
+        case_running = mask * trial_case + (1.0 - mask) * case_running
+        ref_running = mask * trial_ref + (1.0 - mask) * ref_running
+        power = mask * trial_power + (1.0 - mask) * power
+        selected = oblivious_write(selected, position, mask).astype(np.uint8)
+    return selected, float(power)

@@ -1,0 +1,107 @@
+"""Per-enclave resource metering.
+
+Table 3 of the paper reports average CPU utilisation and enclave memory
+for each federation configuration.  The simulation reproduces those
+numbers by metering every enclave:
+
+* **CPU** — wall-clock time spent inside ECALLs, attributed to a caller
+  supplied label (the protocol labels them by phase), plus the total
+  elapsed time of the run, from which an average utilisation follows.
+* **Memory** — enclaves register the byte size of every trusted buffer
+  they hold (genotype shards, count vectors, LR matrices); the meter
+  tracks the current and peak total plus a fixed baseline modelling the
+  enclave runtime (heap metadata, SSA frames, library OS pages) so small
+  configurations land in the low-megabyte range the paper measured.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Fixed overhead modelling Gramine + enclave runtime pages (bytes).
+BASELINE_MEMORY_BYTES = 2_000 * 1024
+
+
+@dataclass
+class ResourceReport:
+    """Snapshot of an enclave's resource consumption."""
+
+    cpu_seconds_by_label: Dict[str, float]
+    total_cpu_seconds: float
+    elapsed_seconds: float
+    current_memory_bytes: int
+    peak_memory_bytes: int
+    ecall_count: int
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of elapsed wall time spent inside ECALLs."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.total_cpu_seconds / self.elapsed_seconds)
+
+    @property
+    def peak_memory_kib(self) -> float:
+        return self.peak_memory_bytes / 1024
+
+
+@dataclass
+class ResourceMeter:
+    """Accumulates CPU and memory usage for one enclave."""
+
+    _cpu_by_label: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    _buffers: Dict[str, int] = field(default_factory=dict)
+    _peak_memory: int = BASELINE_MEMORY_BYTES
+    _ecalls: int = 0
+    _started_at: float = field(default_factory=time.perf_counter)
+
+    # -- CPU -----------------------------------------------------------------
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Time a block of trusted execution under ``label``."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._cpu_by_label[label] += time.perf_counter() - begin
+            self._ecalls += 1
+
+    # -- Memory ----------------------------------------------------------------
+
+    def register_buffer(self, name: str, num_bytes: int) -> None:
+        """Record (or resize) a named trusted buffer."""
+        if num_bytes < 0:
+            raise ValueError("buffer size must be non-negative")
+        self._buffers[name] = num_bytes
+        self._peak_memory = max(self._peak_memory, self.current_memory_bytes)
+
+    def release_buffer(self, name: str) -> None:
+        """Drop a named buffer; releasing an unknown name is a no-op."""
+        self._buffers.pop(name, None)
+
+    @property
+    def current_memory_bytes(self) -> int:
+        return BASELINE_MEMORY_BYTES + sum(self._buffers.values())
+
+    # -- Reporting -------------------------------------------------------------
+
+    def report(self) -> ResourceReport:
+        return ResourceReport(
+            cpu_seconds_by_label=dict(self._cpu_by_label),
+            total_cpu_seconds=sum(self._cpu_by_label.values()),
+            elapsed_seconds=time.perf_counter() - self._started_at,
+            current_memory_bytes=self.current_memory_bytes,
+            peak_memory_bytes=self._peak_memory,
+            ecall_count=self._ecalls,
+        )
+
+    def reset_clock(self) -> None:
+        """Restart the elapsed-time window (used between benchmark runs)."""
+        self._started_at = time.perf_counter()

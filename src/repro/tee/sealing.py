@@ -1,0 +1,63 @@
+"""TEE data sealing.
+
+GenDPR uses the TEE's sealing mechanism "to store data persistently
+outside the TEE.  Sealed data can only be encrypted/decrypted by the
+enclave using its private key" (Section 4).  The simulation implements
+MRENCLAVE-policy sealing: the sealing key is derived from the platform
+root key and the enclave measurement, so
+
+* the same enclave code on the same platform can unseal its own blobs,
+* a different enclave (different measurement) on the same platform
+  cannot, and
+* the same enclave code on a different platform cannot either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.authenticated import StreamAead
+from ..errors import AuthenticationError, SealingError
+from .enclave import Enclave
+
+_SEAL_MAGIC = b"RSEAL1"
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An opaque sealed payload, safe to store on untrusted media."""
+
+    data: bytes
+    label: str
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def seal(enclave: Enclave, plaintext: bytes, label: str = "") -> SealedBlob:
+    """Seal ``plaintext`` to ``enclave``'s identity.
+
+    ``label`` is bound as associated data: unsealing under a different
+    label fails, preventing blob-swapping between storage slots.
+    """
+    aead = StreamAead(enclave._sealing_key())
+    frame = aead.encrypt(
+        plaintext, associated_data=_SEAL_MAGIC + label.encode("utf-8")
+    )
+    return SealedBlob(data=_SEAL_MAGIC + frame, label=label)
+
+
+def unseal(enclave: Enclave, blob: SealedBlob) -> bytes:
+    """Unseal a blob; raises :class:`SealingError` on any mismatch."""
+    if not blob.data.startswith(_SEAL_MAGIC):
+        raise SealingError("not a sealed blob")
+    aead = StreamAead(enclave._sealing_key())
+    try:
+        return aead.decrypt(
+            blob.data[len(_SEAL_MAGIC) :],
+            associated_data=_SEAL_MAGIC + blob.label.encode("utf-8"),
+        )
+    except AuthenticationError as exc:
+        raise SealingError(
+            "unsealing failed: wrong enclave identity, platform or label"
+        ) from exc

@@ -1,0 +1,115 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_cohort_bundle, main, save_cohort_bundle
+
+
+@pytest.fixture()
+def cohort_file(tmp_path, small_cohort):
+    path = tmp_path / "cohort.npz"
+    save_cohort_bundle(str(path), small_cohort)
+    return str(path)
+
+
+class TestBundleIo:
+    def test_roundtrip(self, tmp_path, small_cohort):
+        path = str(tmp_path / "c.npz")
+        save_cohort_bundle(path, small_cohort)
+        loaded = load_cohort_bundle(path)
+        assert loaded.case == small_cohort.case
+        assert loaded.control == small_cohort.control
+        assert loaded.reference is loaded.control
+
+    def test_missing_keys_rejected(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, case=np.zeros((2, 3), dtype=np.uint8))
+        with pytest.raises(Exception):
+            load_cohort_bundle(path)
+
+
+class TestCommands:
+    def test_generate_and_info(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.npz")
+        assert main(
+            [
+                "generate",
+                "--snps", "50",
+                "--case", "60",
+                "--control", "55",
+                "--seed", "3",
+                "--out", out,
+            ]
+        ) == 0
+        assert "60 case" in capsys.readouterr().out
+        assert main(["info", "--cohort", out]) == 0
+        captured = capsys.readouterr().out
+        assert "50 SNPs" in captured
+        assert "minor-allele frequency" in captured
+
+    def test_run_plain(self, cohort_file, tmp_path, capsys):
+        json_out = str(tmp_path / "result.json")
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "2",
+                "--json", json_out,
+            ]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "L_des=240" in captured
+        payload = json.loads(open(json_out).read())
+        assert payload["members"] == 2
+        assert set(payload["l_safe"]) <= set(payload["l_double_prime"])
+
+    def test_run_with_collusion(self, cohort_file, capsys):
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "3",
+                "--collusion", "1",
+            ]
+        ) == 0
+        assert "combinations" in capsys.readouterr().out
+
+    def test_run_conservative_collusion(self, cohort_file, capsys):
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "3",
+                "--collusion", "conservative",
+            ]
+        ) == 0
+        assert "combinations" in capsys.readouterr().out
+
+    def test_attack_from_release(self, cohort_file, tmp_path, capsys):
+        json_out = str(tmp_path / "result.json")
+        main(["run", "--cohort", cohort_file, "--json", json_out])
+        capsys.readouterr()
+        assert main(
+            ["attack", "--cohort", cohort_file, "--release", json_out]
+        ) == 0
+        assert "power" in capsys.readouterr().out
+
+    def test_attack_explicit_snps(self, cohort_file, capsys):
+        assert main(
+            ["attack", "--cohort", cohort_file, "--snps", "0,1,2,3"]
+        ) == 0
+        assert "4 SNPs" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["info", "--cohort", "/nope/missing.npz"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,139 @@
+"""Trusted-module unit tests (GenDPREnclave internals)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.enclave_logic import GenDPREnclave
+from repro.errors import PhaseOrderError, ProtocolError, TEEError
+
+_KEY = bytes(range(32))
+
+
+def _enclave(enclave_id="gdo-0"):
+    return GenDPREnclave(
+        platform_key=_KEY, enclave_id=enclave_id, data_auth_key=bytes(32)
+    )
+
+
+def _params(**overrides):
+    params = {
+        "study_id": "s",
+        "snp_count": 10,
+        "maf_cutoff": 0.05,
+        "ld_cutoff": 1e-5,
+        "alpha": 0.1,
+        "beta": 0.9,
+        "member_ids": ["gdo-0", "gdo-1", "gdo-2"],
+        "leader_id": "gdo-1",
+        "f_values": [],
+    }
+    params.update(overrides)
+    return params
+
+
+class TestConfigure:
+    def test_missing_keys_rejected(self):
+        enclave = _enclave()
+        with pytest.raises(ProtocolError, match="misses"):
+            enclave.ecall("configure", {"study_id": "s"})
+
+    def test_leader_must_be_member(self):
+        enclave = _enclave()
+        with pytest.raises(ProtocolError):
+            enclave.ecall("configure", _params(leader_id="stranger"))
+
+    def test_own_id_must_be_member(self):
+        enclave = _enclave("outsider")
+        with pytest.raises(ProtocolError):
+            enclave.ecall("configure", _params())
+
+    def test_unconfigured_enclave_refuses_work(self):
+        enclave = _enclave()
+        with pytest.raises(PhaseOrderError):
+            enclave.ecall("received_retained", "prime")
+
+    def test_is_leader(self):
+        leader = _enclave("gdo-1")
+        leader.ecall("configure", _params())
+        assert leader.is_leader
+        member = _enclave("gdo-0")
+        member.ecall("configure", _params())
+        assert not member.is_leader
+
+
+class TestCombinationBuilder:
+    def test_f0_always_first(self):
+        combos = GenDPREnclave._build_combinations(["a", "b", "c"], [])
+        assert combos == [("f0", 0, ("a", "b", "c"))]
+
+    def test_static_f(self):
+        combos = GenDPREnclave._build_combinations(["a", "b", "c"], [1])
+        assert len(combos) == 1 + math.comb(3, 2)
+        sizes = {len(members) for _, f, members in combos if f == 1}
+        assert sizes == {2}
+
+    def test_conservative(self):
+        combos = GenDPREnclave._build_combinations(["a", "b", "c", "d"], [1, 2, 3])
+        expected = 1 + math.comb(4, 3) + math.comb(4, 2) + math.comb(4, 1)
+        assert len(combos) == expected
+        ids = [combo_id for combo_id, _, _ in combos]
+        assert len(set(ids)) == len(ids)  # unique identifiers
+
+    def test_duplicate_f_collapsed(self):
+        combos = GenDPREnclave._build_combinations(["a", "b"], [1, 1])
+        assert len(combos) == 1 + 2
+
+    def test_infeasible_f_rejected(self):
+        with pytest.raises(ProtocolError):
+            GenDPREnclave._build_combinations(["a", "b"], [2])
+
+    def test_f_zero_in_list_ignored(self):
+        combos = GenDPREnclave._build_combinations(["a", "b"], [0])
+        assert len(combos) == 1
+
+
+class TestChannelInstallation:
+    def test_foreign_endpoint_rejected(self):
+        from repro.tee.channel import ChannelEndpoint
+
+        enclave = _enclave()
+        endpoint = ChannelEndpoint("someone-else", "gdo-0", bytes(32))
+        with pytest.raises(TEEError):
+            enclave.install_channel(endpoint)
+
+    def test_missing_channel_surfaces_protocol_error(self):
+        enclave = _enclave("gdo-1")
+        enclave.ecall("configure", _params())
+        with pytest.raises(ProtocolError, match="attested channel"):
+            enclave._channel("gdo-0")
+
+
+class TestLoadValidation:
+    def test_reference_size_mismatch(self):
+        enclave = _enclave("gdo-1")
+        enclave.ecall("configure", _params())
+        with pytest.raises(ProtocolError):
+            enclave.ecall("load_reference_matrix", bytes(25), 3)
+
+    def test_reference_non_binary_rejected(self):
+        enclave = _enclave("gdo-1")
+        enclave.ecall("configure", _params())
+        with pytest.raises(ProtocolError):
+            enclave.ecall("load_reference_matrix", bytes([7] * 20), 2)
+
+    def test_unknown_dataset_container_rejected(self):
+        enclave = _enclave("gdo-1")
+        enclave.ecall("configure", _params())
+        with pytest.raises(ProtocolError):
+            enclave.ecall("load_local_dataset", object())
+
+
+class TestTrustedStateDeclaration:
+    def test_channels_and_keys_declared_trusted(self):
+        names = GenDPREnclave.trusted_state_names()
+        assert "_channels" in names
+        assert "_platform_key" in names
+        assert "_data_signer" in names

@@ -1,0 +1,81 @@
+"""StudyResult / CollusionReport invariants and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import (
+    CollusionReport,
+    CombinationOutcome,
+    StudyResult,
+)
+from repro.core.timing import PhaseTimings
+from repro.errors import ProtocolError
+
+
+def _result(l_prime, l_double_prime, l_safe, l_des=10):
+    return StudyResult(
+        study_id="s",
+        leader_id="gdo-0",
+        num_members=2,
+        l_des=l_des,
+        l_prime=l_prime,
+        l_double_prime=l_double_prime,
+        l_safe=l_safe,
+        timings=PhaseTimings(),
+    )
+
+
+class TestStudyResultValidation:
+    def test_valid_chain(self):
+        result = _result([0, 1, 2, 3], [1, 3], [3])
+        assert result.phase_counts() == {"MAF": 4, "LD": 2, "LR": 1}
+
+    def test_lprime_outside_des_rejected(self):
+        with pytest.raises(ProtocolError):
+            _result([99], [], [])
+
+    def test_ld_not_subset_rejected(self):
+        with pytest.raises(ProtocolError):
+            _result([0, 1], [2], [])
+
+    def test_safe_not_subset_rejected(self):
+        with pytest.raises(ProtocolError):
+            _result([0, 1], [1], [0])
+
+    def test_empty_chain_allowed(self):
+        result = _result([], [], [])
+        assert result.retained_after_lr == 0
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ProtocolError):
+            StudyResult(
+                study_id="s",
+                leader_id="x",
+                num_members=0,
+                l_des=10,
+                l_prime=[],
+                l_double_prime=[],
+                l_safe=[],
+                timings=PhaseTimings(),
+            )
+        with pytest.raises(ProtocolError):
+            _result([], [], [], l_des=0)
+
+    def test_summary_contains_counts(self):
+        summary = _result([0, 1], [1], [1]).summary()
+        assert "MAF 2" in summary and "LR 1" in summary
+
+
+class TestCollusionReport:
+    def test_vulnerable_accounting(self):
+        report = CollusionReport(
+            outcomes=[
+                CombinationOutcome(("a", "b"), 1, (1, 2, 3)),
+                CombinationOutcome(("a", "c"), 1, (2, 3, 4)),
+            ],
+            baseline_safe=(1, 2, 3, 4, 5),
+        )
+        assert report.combinations_evaluated == 2
+        assert report.vulnerable_snps((2, 3)) == (1, 4, 5)
+        assert report.vulnerable_snps((1, 2, 3, 4, 5)) == ()

@@ -1,0 +1,184 @@
+"""Release objects, Laplace mechanism and the hybrid DP release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dp import (
+    LaplaceMechanism,
+    epsilon_for_frequency_error,
+)
+from repro.core.release import (
+    GwasRelease,
+    SnpStatistic,
+    build_release,
+    hybrid_release,
+)
+from repro.errors import ConfigError, ProtocolError
+
+
+def _stat(index, pvalue=0.5, dp=False):
+    return SnpStatistic(
+        snp_index=index,
+        chi2=1.0,
+        pvalue=pvalue,
+        case_frequency=0.2,
+        reference_frequency=0.18,
+        dp_protected=dp,
+    )
+
+
+class TestLaplace:
+    def test_deterministic_in_seed(self):
+        mech = LaplaceMechanism(epsilon=1.0, seed=3)
+        values = np.arange(10.0)
+        assert np.array_equal(mech.perturb(values), mech.perturb(values))
+        other = LaplaceMechanism(epsilon=1.0, seed=4)
+        assert not np.array_equal(mech.perturb(values), other.perturb(values))
+
+    def test_scale(self):
+        assert LaplaceMechanism(epsilon=0.5).scale == 2.0
+        assert LaplaceMechanism(epsilon=2.0, sensitivity=4.0).scale == 2.0
+
+    def test_noise_magnitude_tracks_epsilon(self):
+        values = np.zeros(10_000)
+        loose = LaplaceMechanism(epsilon=0.1, seed=1).perturb(values)
+        tight = LaplaceMechanism(epsilon=10.0, seed=1).perturb(values)
+        assert np.abs(loose).mean() > 10 * np.abs(tight).mean()
+
+    def test_clamping(self):
+        mech = LaplaceMechanism(epsilon=0.01, seed=2)
+        noisy = mech.perturb_counts(np.array([0.0, 50.0, 100.0]), upper=100)
+        assert noisy.min() >= 0.0 and noisy.max() <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ConfigError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+        with pytest.raises(ConfigError):
+            LaplaceMechanism(epsilon=1.0).perturb_counts(np.array([1.0]), 0)
+
+    def test_epsilon_planning(self):
+        eps = epsilon_for_frequency_error(0.01, 1000)
+        # Check the inversion: error prob at that epsilon is 5%.
+        assert np.exp(-eps * 1000 * 0.01) == pytest.approx(0.05)
+        with pytest.raises(ConfigError):
+            epsilon_for_frequency_error(0.0, 100)
+        with pytest.raises(ConfigError):
+            epsilon_for_frequency_error(0.1, 0)
+
+
+class TestGwasRelease:
+    def test_duplicate_snps_rejected(self):
+        with pytest.raises(ProtocolError):
+            GwasRelease(
+                study_id="s",
+                statistics=[_stat(1), _stat(1)],
+                n_case=10,
+                n_reference=10,
+            )
+
+    def test_partitions(self):
+        release = GwasRelease(
+            study_id="s",
+            statistics=[_stat(1), _stat(2, dp=True)],
+            n_case=10,
+            n_reference=10,
+        )
+        assert [s.snp_index for s in release.exact()] == [1]
+        assert [s.snp_index for s in release.perturbed()] == [2]
+
+    def test_most_significant(self):
+        release = GwasRelease(
+            study_id="s",
+            statistics=[_stat(1, 0.5), _stat(2, 0.001), _stat(3, 0.01)],
+            n_case=10,
+            n_reference=10,
+        )
+        assert [s.snp_index for s in release.most_significant(2)] == [2, 3]
+
+    def test_build_release_from_leader_stats(self, federation, study_result):
+        from repro.core.protocol import GenDPRProtocol
+
+        stats = GenDPRProtocol(federation).release_statistics()
+        release = build_release("test-study", stats, study_result.release_power)
+        assert release.snp_indices == study_result.l_safe
+        assert release.n_case == 360
+        assert all(not s.dp_protected for s in release.statistics)
+
+
+class TestHybridRelease:
+    def _exact(self):
+        return GwasRelease(
+            study_id="s",
+            statistics=[_stat(0), _stat(2)],
+            n_case=100,
+            n_reference=100,
+        )
+
+    def test_hybrid_covers_all_snps(self):
+        release = hybrid_release(
+            self._exact(),
+            all_snps=5,
+            withheld_case_counts={1: 30, 3: 40, 4: 10},
+            withheld_reference_counts={1: 28, 3: 35, 4: 12},
+            epsilon=1.0,
+        )
+        assert sorted(release.snp_indices) == [0, 1, 2, 3, 4]
+        assert len(release.perturbed()) == 3
+        assert release.metadata["dp_epsilon"] == "1.0"
+
+    def test_perturbed_statistics_valid(self):
+        release = hybrid_release(
+            self._exact(),
+            all_snps=5,
+            withheld_case_counts={1: 30},
+            withheld_reference_counts={1: 28},
+            epsilon=0.5,
+        )
+        perturbed = release.perturbed()[0]
+        assert 0.0 <= perturbed.case_frequency <= 1.0
+        assert 0.0 <= perturbed.pvalue <= 1.0
+
+    def test_deterministic_in_seed(self):
+        kwargs = dict(
+            all_snps=5,
+            withheld_case_counts={1: 30},
+            withheld_reference_counts={1: 28},
+            epsilon=0.5,
+        )
+        one = hybrid_release(self._exact(), seed=9, **kwargs)
+        two = hybrid_release(self._exact(), seed=9, **kwargs)
+        assert one.perturbed()[0].chi2 == two.perturbed()[0].chi2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ProtocolError):
+            hybrid_release(
+                self._exact(),
+                all_snps=5,
+                withheld_case_counts={0: 1},
+                withheld_reference_counts={0: 1},
+                epsilon=1.0,
+            )
+
+    def test_mismatched_withheld_sets_rejected(self):
+        with pytest.raises(ProtocolError):
+            hybrid_release(
+                self._exact(),
+                all_snps=5,
+                withheld_case_counts={1: 1},
+                withheld_reference_counts={3: 1},
+                epsilon=1.0,
+            )
+
+    def test_out_of_range_snp_rejected(self):
+        with pytest.raises(ProtocolError):
+            hybrid_release(
+                self._exact(),
+                all_snps=3,
+                withheld_case_counts={7: 1},
+                withheld_reference_counts={7: 1},
+                epsilon=1.0,
+            )

@@ -1,0 +1,88 @@
+"""AES block cipher: FIPS-197 known answers, round trips, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, expand_key
+from repro.errors import InvalidKeyError
+
+#: FIPS-197 Appendix C known-answer vectors (plaintext is shared).
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_VECTORS = [
+    (bytes(range(16)), "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (bytes(range(24)), "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (bytes(range(32)), "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.mark.parametrize("key,expected", _VECTORS)
+def test_fips197_known_answers(key, expected):
+    assert AES(key).encrypt_block(_PLAINTEXT).hex() == expected
+
+
+@pytest.mark.parametrize("key,expected", _VECTORS)
+def test_fips197_decrypt_inverts(key, expected):
+    assert AES(key).decrypt_block(bytes.fromhex(expected)) == _PLAINTEXT
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert sorted(INV_SBOX) == list(range(256))
+
+
+def test_sbox_inverse_consistency():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_known_entries():
+    # FIPS-197 Figure 7 spot checks.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_roundtrip_random_blocks(key_len):
+    from repro.crypto.rng import DeterministicRng
+
+    rng = DeterministicRng(f"aes-{key_len}")
+    cipher = AES(rng.bytes(key_len))
+    for _ in range(20):
+        block = rng.bytes(BLOCK_SIZE)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_key_schedule_length():
+    assert len(expand_key(bytes(16))) == 4 * 11
+    assert len(expand_key(bytes(24))) == 4 * 13
+    assert len(expand_key(bytes(32))) == 4 * 15
+
+
+@pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 31, 33, 64])
+def test_invalid_key_length_rejected(bad_len):
+    with pytest.raises(InvalidKeyError):
+        AES(bytes(bad_len))
+
+
+@pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+def test_invalid_block_length_rejected(bad_len):
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(bytes(bad_len))
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(bytes(bad_len))
+
+
+def test_distinct_keys_distinct_ciphertexts():
+    block = bytes(16)
+    one = AES(bytes(16)).encrypt_block(block)
+    two = AES(bytes([1] * 16)).encrypt_block(block)
+    assert one != two
+
+
+def test_encryption_is_not_identity():
+    block = bytes(range(16))
+    assert AES(bytes(32)).encrypt_block(block) != block

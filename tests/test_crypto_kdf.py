@@ -1,0 +1,73 @@
+"""HKDF: RFC 5869 test vectors and derivation properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.kdf import derive_subkey, hkdf, hkdf_expand, hkdf_extract
+
+
+def test_rfc5869_case_1():
+    """RFC 5869 A.1 (SHA-256, basic)."""
+    ikm = bytes([0x0B] * 22)
+    salt = bytes(range(0x0D))
+    info = bytes(range(0xF0, 0xFA))
+    okm = hkdf(ikm, salt=salt, info=info, length=42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_1_prk():
+    ikm = bytes([0x0B] * 22)
+    salt = bytes(range(0x0D))
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+
+
+def test_rfc5869_case_3_no_salt_no_info():
+    """RFC 5869 A.3 (zero-length salt and info)."""
+    okm = hkdf(bytes([0x0B] * 22), salt=b"", info=b"", length=42)
+    assert okm.hex() == (
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_expand_lengths():
+    prk = hkdf_extract(b"salt", b"ikm")
+    for length in (1, 31, 32, 33, 64, 255):
+        assert len(hkdf_expand(prk, b"info", length)) == length
+
+
+def test_expand_prefix_consistency():
+    prk = hkdf_extract(b"salt", b"ikm")
+    assert hkdf_expand(prk, b"info", 64)[:20] == hkdf_expand(prk, b"info", 20)
+
+
+def test_expand_rejects_bad_lengths():
+    prk = hkdf_extract(b"", b"ikm")
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 0)
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+
+
+def test_distinct_info_distinct_output():
+    prk = hkdf_extract(b"salt", b"ikm")
+    assert hkdf_expand(prk, b"a", 32) != hkdf_expand(prk, b"b", 32)
+
+
+def test_derive_subkey_label_separation():
+    root = bytes(32)
+    assert derive_subkey(root, "sealing") != derive_subkey(root, "channel")
+    assert derive_subkey(root, "sealing") == derive_subkey(root, "sealing")
+
+
+def test_derive_subkey_key_separation():
+    assert derive_subkey(bytes(32), "x") != derive_subkey(bytes([1] * 32), "x")

@@ -1,0 +1,43 @@
+"""The example scripts stay runnable.
+
+The two fastest examples are executed end-to-end; the longer scenarios
+are compiled and import-checked (their logic is covered by the
+integration suites — these tests guard against bit-rot in the scripts
+themselves).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "baseline_comparison.py"]
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert len(names) >= 6
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()

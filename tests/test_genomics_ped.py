@@ -1,0 +1,129 @@
+"""PLINK PED/MAP import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GenomicsError
+from repro.genomics import GenotypeMatrix, SnpPanel
+from repro.genomics.ped import (
+    cohort_from_ped,
+    read_map,
+    read_ped,
+    write_map,
+    write_ped,
+)
+
+
+@pytest.fixture()
+def panel():
+    return SnpPanel.synthetic(6)
+
+
+@pytest.fixture()
+def genotypes():
+    rng = np.random.Generator(np.random.PCG64(17))
+    # Ensure minor alleles stay minor: probability < 0.5 per column.
+    return GenotypeMatrix((rng.random((20, 6)) < 0.3).astype(np.uint8))
+
+
+class TestMap:
+    def test_roundtrip(self, panel):
+        parsed = read_map(write_map(panel))
+        assert parsed.ids() == panel.ids()
+        assert parsed[2].position == panel[2].position
+
+    def test_rejects_bad_lines(self):
+        with pytest.raises(GenomicsError):
+            read_map("1 rs1 0\n")  # 3 fields
+        with pytest.raises(GenomicsError):
+            read_map("x rs1 0 100\n")  # bad chromosome
+        with pytest.raises(GenomicsError):
+            read_map("\n\n")
+
+
+class TestPed:
+    def test_roundtrip_dominant_coding(self, panel, genotypes):
+        phenotypes = [2] * 12 + [1] * 8
+        text = write_ped(panel, genotypes, phenotypes)
+        matrix, individuals = read_ped(text, panel)
+        assert matrix == genotypes
+        assert [ind.phenotype for ind in individuals] == phenotypes
+        assert individuals[0].family_id == "FAM0"
+
+    def test_write_validation(self, panel, genotypes):
+        with pytest.raises(GenomicsError):
+            write_ped(panel, genotypes, [2] * 5)  # wrong phenotype count
+        with pytest.raises(GenomicsError):
+            write_ped(panel, genotypes, [0] * 20)  # missing phenotype
+        with pytest.raises(GenomicsError):
+            write_ped(SnpPanel.synthetic(3), genotypes, [2] * 20)
+
+    def test_read_rejects_field_count(self, panel, genotypes):
+        text = write_ped(panel, genotypes, [2] * 20)
+        broken = "\n".join(
+            line + "\tX" for line in text.splitlines()
+        )
+        with pytest.raises(GenomicsError):
+            read_ped(broken, panel)
+
+    def test_read_rejects_missing_alleles(self, panel):
+        fields = ["F", "I", "0", "0", "0", "2"] + ["0", "0"] * 6
+        with pytest.raises(GenomicsError, match="missing genotypes"):
+            read_ped("\t".join(fields) + "\n", panel)
+
+    def test_read_rejects_triallelic(self, panel):
+        ok = ["F1", "I1", "0", "0", "0", "2"] + ["A", "G"] * 6
+        bad = ["F2", "I2", "0", "0", "0", "1"] + ["A", "T"] + ["A", "A"] * 5
+        text = "\t".join(ok) + "\n" + "\t".join(bad) + "\n"
+        with pytest.raises(GenomicsError, match="more than two alleles"):
+            read_ped(text, panel)
+
+    def test_monomorphic_snp_reads_as_zero(self, panel):
+        rows = []
+        for i in range(4):
+            rows.append(
+                "\t".join(
+                    [f"F{i}", f"I{i}", "0", "0", "0", "2"] + ["A", "A"] * 6
+                )
+            )
+        matrix, _ = read_ped("\n".join(rows) + "\n", panel)
+        assert matrix.allele_counts().sum() == 0
+
+    def test_empty_rejected(self, panel):
+        with pytest.raises(GenomicsError):
+            read_ped("", panel)
+
+
+class TestCohortFromPed:
+    def test_builds_cohort(self, panel, genotypes):
+        phenotypes = [2] * 12 + [1] * 8
+        cohort = cohort_from_ped(
+            write_ped(panel, genotypes, phenotypes), write_map(panel)
+        )
+        assert cohort.case.num_individuals == 12
+        assert cohort.control.num_individuals == 8
+        assert cohort.reference is cohort.control
+        assert cohort.num_snps == 6
+
+    def test_requires_both_populations(self, panel, genotypes):
+        with pytest.raises(GenomicsError):
+            cohort_from_ped(
+                write_ped(panel, genotypes, [2] * 20), write_map(panel)
+            )
+
+    def test_cohort_runs_through_protocol(self, panel, genotypes):
+        """An imported PED cohort is a first-class study input."""
+        from repro import StudyConfig, run_study
+
+        rng = np.random.Generator(np.random.PCG64(23))
+        big = GenotypeMatrix((rng.random((120, 6)) < 0.3).astype(np.uint8))
+        phenotypes = [2] * 70 + [1] * 50
+        cohort = cohort_from_ped(
+            write_ped(panel, big, phenotypes), write_map(panel)
+        )
+        result = run_study(
+            cohort, StudyConfig(snp_count=6, study_id="ped"), 2
+        )
+        assert result.l_des == 6

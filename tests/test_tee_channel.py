@@ -1,0 +1,149 @@
+"""Attested secure channels: handshake, framing, replay protection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import AttestationError, ChannelError
+from repro.tee.attestation import AttestationService
+from repro.tee.channel import ChannelEndpoint, establish_channel
+from repro.tee.enclave import Enclave, ecall
+
+
+class PairedEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+class RogueEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+def _federation_pair(service=None):
+    service = service or AttestationService(master_secret=bytes(32))
+    platform_a = service.register_platform("host-a")
+    platform_b = service.register_platform("host-b")
+    enclave_a = PairedEnclave(platform_a.root_key, "alice")
+    enclave_b = PairedEnclave(platform_b.root_key, "bob")
+    return service, platform_a, enclave_a, platform_b, enclave_b
+
+
+def _establish(rng_seed="chan"):
+    service, pa, ea, pb, eb = _federation_pair()
+    end_a, end_b, hs_bytes = establish_channel(
+        ea, pa, eb, pb, service.verifier(), rng=DeterministicRng(rng_seed)
+    )
+    return end_a, end_b, hs_bytes
+
+
+class TestHandshake:
+    def test_channel_established_and_works(self):
+        end_a, end_b, hs_bytes = _establish()
+        assert hs_bytes > 0
+        frame = end_a.protect(b"hello")
+        assert end_b.open(frame) == b"hello"
+
+    def test_bidirectional(self):
+        end_a, end_b, _ = _establish()
+        assert end_b.open(end_a.protect(b"a->b")) == b"a->b"
+        assert end_a.open(end_b.protect(b"b->a")) == b"b->a"
+
+    def test_mismatched_trusted_code_refused(self):
+        service = AttestationService(master_secret=bytes(32))
+        pa = service.register_platform("host-a")
+        pb = service.register_platform("host-b")
+        good = PairedEnclave(pa.root_key, "alice")
+        rogue = RogueEnclave(pb.root_key, "mallory")
+        with pytest.raises(AttestationError):
+            establish_channel(
+                good, pa, rogue, pb, service.verifier(), rng=DeterministicRng("x")
+            )
+
+    def test_unattested_platform_refused(self):
+        service, pa, ea, _pb, _eb = _federation_pair()
+        foreign_service = AttestationService(master_secret=bytes([9] * 32))
+        foreign_platform = foreign_service.register_platform("evil-host")
+        foreign_enclave = PairedEnclave(foreign_platform.root_key, "eve")
+        with pytest.raises(AttestationError):
+            establish_channel(
+                ea,
+                pa,
+                foreign_enclave,
+                foreign_platform,
+                service.verifier(),
+                rng=DeterministicRng("x"),
+            )
+
+
+class TestFraming:
+    def test_replayed_frame_rejected(self):
+        end_a, end_b, _ = _establish()
+        frame = end_a.protect(b"once")
+        end_b.open(frame)
+        with pytest.raises(ChannelError):
+            end_b.open(frame)
+
+    def test_out_of_order_rejected(self):
+        end_a, end_b, _ = _establish()
+        first = end_a.protect(b"one")
+        second = end_a.protect(b"two")
+        with pytest.raises(ChannelError):
+            end_b.open(second)
+        # The first frame still delivers after the failed attempt.
+        assert end_b.open(first) == b"one"
+
+    def test_tampered_frame_rejected(self):
+        end_a, end_b, _ = _establish()
+        frame = bytearray(end_a.protect(b"payload"))
+        frame[12] ^= 0x01
+        with pytest.raises(ChannelError):
+            end_b.open(bytes(frame))
+
+    def test_kind_binding(self):
+        end_a, end_b, _ = _establish()
+        frame = end_a.protect(b"payload", kind=b"summary")
+        with pytest.raises(ChannelError):
+            end_b.open(frame, kind=b"lr")
+
+    def test_direction_binding(self):
+        end_a, end_b, _ = _establish()
+        frame = end_a.protect(b"reflect")
+        # Reflecting a frame back to its sender must fail.
+        with pytest.raises(ChannelError):
+            end_a.open(frame)
+
+    def test_cross_channel_frames_rejected(self):
+        end_a1, end_b1, _ = _establish("chan-1")
+        end_a2, end_b2, _ = _establish("chan-2")
+        frame = end_a1.protect(b"one")
+        with pytest.raises(ChannelError):
+            end_b2.open(frame)
+
+    def test_closed_channel(self):
+        end_a, end_b, _ = _establish()
+        end_a.close()
+        with pytest.raises(ChannelError):
+            end_a.protect(b"x")
+        end_b.close()
+        with pytest.raises(ChannelError):
+            end_b.open(b"\x00" * 80)
+
+    def test_short_frame_rejected(self):
+        _end_a, end_b, _ = _establish()
+        with pytest.raises(ChannelError):
+            end_b.open(b"\x00" * 4)
+
+    def test_overhead_constant(self):
+        end_a, _end_b, _ = _establish()
+        frame = end_a.protect(bytes(100))
+        assert len(frame) - 100 == ChannelEndpoint.overhead()
+
+    def test_long_sequence(self):
+        end_a, end_b, _ = _establish()
+        for i in range(50):
+            payload = f"message-{i}".encode()
+            assert end_b.open(end_a.protect(payload)) == payload

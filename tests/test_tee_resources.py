@@ -1,0 +1,115 @@
+"""Resource metering."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.tee.resources import (
+    BASELINE_MEMORY_BYTES,
+    ResourceMeter,
+    ResourceReport,
+)
+
+
+class TestResourceMeter:
+    def test_baseline_memory(self):
+        meter = ResourceMeter()
+        assert meter.current_memory_bytes == BASELINE_MEMORY_BYTES
+
+    def test_register_and_release(self):
+        meter = ResourceMeter()
+        meter.register_buffer("x", 1000)
+        meter.register_buffer("y", 500)
+        assert meter.current_memory_bytes == BASELINE_MEMORY_BYTES + 1500
+        meter.release_buffer("x")
+        assert meter.current_memory_bytes == BASELINE_MEMORY_BYTES + 500
+        meter.release_buffer("unknown")  # no-op
+
+    def test_resize_replaces(self):
+        meter = ResourceMeter()
+        meter.register_buffer("x", 1000)
+        meter.register_buffer("x", 200)
+        assert meter.current_memory_bytes == BASELINE_MEMORY_BYTES + 200
+
+    def test_peak_tracks_high_water_mark(self):
+        meter = ResourceMeter()
+        meter.register_buffer("big", 10_000)
+        meter.release_buffer("big")
+        meter.register_buffer("small", 10)
+        report = meter.report()
+        assert report.peak_memory_bytes == BASELINE_MEMORY_BYTES + 10_000
+        assert report.current_memory_bytes == BASELINE_MEMORY_BYTES + 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceMeter().register_buffer("x", -1)
+
+    def test_measure_accumulates_by_label(self):
+        meter = ResourceMeter()
+        with meter.measure("phase-a"):
+            time.sleep(0.005)
+        with meter.measure("phase-a"):
+            pass
+        with meter.measure("phase-b"):
+            pass
+        report = meter.report()
+        assert report.ecall_count == 3
+        assert report.cpu_seconds_by_label["phase-a"] >= 0.005
+        assert set(report.cpu_seconds_by_label) == {"phase-a", "phase-b"}
+
+    def test_measure_records_on_exception(self):
+        meter = ResourceMeter()
+        with pytest.raises(RuntimeError):
+            with meter.measure("failing"):
+                raise RuntimeError("boom")
+        assert meter.report().ecall_count == 1
+
+    def test_cpu_utilization_bounds(self):
+        meter = ResourceMeter()
+        with meter.measure("work"):
+            time.sleep(0.002)
+        report = meter.report()
+        assert 0.0 < report.cpu_utilization <= 1.0
+
+    def test_reset_clock(self):
+        meter = ResourceMeter()
+        time.sleep(0.005)
+        meter.reset_clock()
+        assert meter.report().elapsed_seconds < 0.005
+
+
+class TestResourceReport:
+    def test_zero_elapsed_utilization(self):
+        report = ResourceReport(
+            cpu_seconds_by_label={},
+            total_cpu_seconds=0.0,
+            elapsed_seconds=0.0,
+            current_memory_bytes=0,
+            peak_memory_bytes=0,
+            ecall_count=0,
+        )
+        assert report.cpu_utilization == 0.0
+
+    def test_utilization_capped_at_one(self):
+        report = ResourceReport(
+            cpu_seconds_by_label={"x": 5.0},
+            total_cpu_seconds=5.0,
+            elapsed_seconds=1.0,
+            current_memory_bytes=0,
+            peak_memory_bytes=0,
+            ecall_count=1,
+        )
+        assert report.cpu_utilization == 1.0
+
+    def test_kib_conversion(self):
+        report = ResourceReport(
+            cpu_seconds_by_label={},
+            total_cpu_seconds=0.0,
+            elapsed_seconds=1.0,
+            current_memory_bytes=2048,
+            peak_memory_bytes=4096,
+            ecall_count=0,
+        )
+        assert report.peak_memory_kib == 4.0

@@ -1,0 +1,163 @@
+"""Sealing and remote attestation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AttestationError, SealingError, TEEError
+from repro.tee.attestation import (
+    REPORT_DATA_SIZE,
+    AttestationService,
+    Quote,
+    pack_report_data,
+)
+from repro.tee.enclave import Enclave, ecall
+from repro.tee.sealing import SealedBlob, seal, unseal
+
+_KEY = bytes(range(32))
+
+
+class StorageEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+class DifferentEnclave(Enclave):
+    @ecall
+    def other(self) -> None:
+        return None
+
+
+class TestSealing:
+    def test_roundtrip(self):
+        enclave = StorageEnclave(_KEY, "e1")
+        blob = seal(enclave, b"secret data", label="slot")
+        assert unseal(enclave, blob) == b"secret data"
+
+    def test_same_code_same_platform_unseals(self):
+        one = StorageEnclave(_KEY, "e1")
+        two = StorageEnclave(_KEY, "e2")  # same class + platform key
+        blob = seal(one, b"secret")
+        assert unseal(two, blob) == b"secret"
+
+    def test_different_code_cannot_unseal(self):
+        blob = seal(StorageEnclave(_KEY, "e1"), b"secret")
+        with pytest.raises(SealingError):
+            unseal(DifferentEnclave(_KEY, "e2"), blob)
+
+    def test_different_platform_cannot_unseal(self):
+        blob = seal(StorageEnclave(_KEY, "e1"), b"secret")
+        with pytest.raises(SealingError):
+            unseal(StorageEnclave(bytes(32), "e1"), blob)
+
+    def test_label_binding(self):
+        enclave = StorageEnclave(_KEY, "e1")
+        blob = seal(enclave, b"secret", label="slot-a")
+        swapped = SealedBlob(data=blob.data, label="slot-b")
+        with pytest.raises(SealingError):
+            unseal(enclave, swapped)
+
+    def test_tampered_blob_rejected(self):
+        enclave = StorageEnclave(_KEY, "e1")
+        blob = seal(enclave, b"secret")
+        raw = bytearray(blob.data)
+        raw[-1] ^= 1
+        with pytest.raises(SealingError):
+            unseal(enclave, SealedBlob(data=bytes(raw), label=blob.label))
+
+    def test_not_a_blob_rejected(self):
+        enclave = StorageEnclave(_KEY, "e1")
+        with pytest.raises(SealingError):
+            unseal(enclave, SealedBlob(data=b"garbage", label=""))
+
+    def test_blob_len(self):
+        blob = seal(StorageEnclave(_KEY, "e1"), bytes(100))
+        assert len(blob) > 100
+
+
+class TestAttestation:
+    def _setup(self):
+        service = AttestationService(master_secret=_KEY)
+        platform = service.register_platform("machine-1")
+        enclave = StorageEnclave(platform.root_key, "e1")
+        return service, platform, enclave
+
+    def test_quote_verifies(self):
+        service, platform, enclave = self._setup()
+        quote = platform.quote_enclave(enclave, pack_report_data(b"hello"))
+        service.verify_quote(quote, enclave.measurement)  # no raise
+
+    def test_verifier_facade(self):
+        service, platform, enclave = self._setup()
+        quote = platform.quote_enclave(enclave, pack_report_data(b"x"))
+        service.verifier().verify(quote, enclave.measurement)
+
+    def test_wrong_measurement_rejected(self):
+        service, platform, enclave = self._setup()
+        other = DifferentEnclave(platform.root_key, "e2")
+        quote = platform.quote_enclave(other, pack_report_data(b"x"))
+        with pytest.raises(AttestationError, match="measurement"):
+            service.verify_quote(quote, enclave.measurement)
+
+    def test_forged_signature_rejected(self):
+        service, platform, enclave = self._setup()
+        quote = platform.quote_enclave(enclave, pack_report_data(b"x"))
+        forged = Quote(
+            platform_id=quote.platform_id,
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            signature=bytes(32),
+        )
+        with pytest.raises(AttestationError):
+            service.verify_quote(forged, enclave.measurement)
+
+    def test_tampered_report_data_rejected(self):
+        service, platform, enclave = self._setup()
+        quote = platform.quote_enclave(enclave, pack_report_data(b"x"))
+        tampered = Quote(
+            platform_id=quote.platform_id,
+            measurement=quote.measurement,
+            report_data=pack_report_data(b"y"),
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError):
+            service.verify_quote(tampered, enclave.measurement)
+
+    def test_unregistered_platform_rejected(self):
+        service, platform, enclave = self._setup()
+        other_service = AttestationService(master_secret=bytes(32))
+        quote = platform.quote_enclave(enclave, pack_report_data(b"x"))
+        with pytest.raises(AttestationError, match="unregistered"):
+            other_service.verify_quote(quote, enclave.measurement)
+
+    def test_revocation(self):
+        service, platform, enclave = self._setup()
+        quote = platform.quote_enclave(enclave, pack_report_data(b"x"))
+        service.revoke_platform("machine-1")
+        with pytest.raises(AttestationError, match="revoked"):
+            service.verify_quote(quote, enclave.measurement)
+
+    def test_duplicate_platform_registration_rejected(self):
+        service, _, _ = self._setup()
+        with pytest.raises(AttestationError):
+            service.register_platform("machine-1")
+
+    def test_empty_platform_id_rejected(self):
+        with pytest.raises(AttestationError):
+            AttestationService(_KEY).register_platform("")
+
+    def test_report_data_size_enforced(self):
+        assert len(pack_report_data(b"a", b"b")) == REPORT_DATA_SIZE
+        with pytest.raises(AttestationError):
+            Quote(
+                platform_id="p",
+                measurement=StorageEnclave(_KEY, "e").measurement,
+                report_data=b"short",
+                signature=bytes(32),
+            )
+
+    def test_report_data_item_order_matters(self):
+        assert pack_report_data(b"a", b"b") != pack_report_data(b"b", b"a")
+        # Length prefixing prevents concatenation ambiguity.
+        assert pack_report_data(b"ab", b"c") != pack_report_data(b"a", b"bc")
