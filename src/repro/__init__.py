@@ -21,12 +21,13 @@ Quickstart::
 
 Subpackages: :mod:`repro.crypto`, :mod:`repro.tee`, :mod:`repro.net`,
 :mod:`repro.genomics`, :mod:`repro.stats`, :mod:`repro.core`,
-:mod:`repro.attacks`, :mod:`repro.bench`.
+:mod:`repro.attacks`, :mod:`repro.bench`, :mod:`repro.obs`.
 """
 
 from .config import (
     CollusionPolicy,
     NetworkProfile,
+    ObservabilityConfig,
     PrivacyThresholds,
     StudyConfig,
 )
@@ -42,6 +43,7 @@ from .core import (
     run_study,
 )
 from .errors import ReproError
+from .obs import RunReport
 from .genomics import (
     Cohort,
     GenotypeMatrix,
@@ -51,12 +53,14 @@ from .genomics import (
     partition_cohort,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CollusionPolicy",
     "NetworkProfile",
+    "ObservabilityConfig",
     "PrivacyThresholds",
+    "RunReport",
     "StudyConfig",
     "GenDPRProtocol",
     "GwasRelease",

@@ -8,9 +8,10 @@ rows.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
-from ..config import CollusionPolicy
+from ..config import CollusionPolicy, ObservabilityConfig
 from ..core.baseline import run_centralized_study
 from ..core.naive import run_naive_study
 from ..core.protocol import run_study
@@ -27,14 +28,24 @@ def gendpr_row(
     *,
     collusion: Optional[CollusionPolicy] = None,
     study_id: Optional[str] = None,
+    report_path: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run GenDPR once; return the timing/size/resource row."""
+    """Run GenDPR once; return the timing/size/resource row.
+
+    With ``report_path``, the run executes traced and its
+    :class:`~repro.obs.RunReport` is saved there — the machine-readable
+    companion of the rendered table, without changing the row contents.
+    """
     config = paper_config(
         num_snps,
         study_id=study_id or f"gendpr-{num_snps}snps-{num_members}gdos",
         collusion=collusion,
     )
+    if report_path is not None:
+        config = replace(config, observability=ObservabilityConfig.tracing())
     result = run_study(cohort, config, num_members)
+    if report_path is not None and result.observability is not None:
+        result.observability.save(report_path)
     row: Dict[str, object] = {
         "system": "GenDPR",
         "gdos": num_members,

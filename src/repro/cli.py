@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Four subcommands cover the adoption path of a federation operator:
+Five subcommands cover the adoption path of a federation operator:
 
 * ``repro generate`` — create a synthetic study cohort and save it as a
   ``.npz`` bundle (or import one produced elsewhere with the same keys).
 * ``repro run`` — execute a GenDPR study over a saved cohort, printing
   the per-phase selection, timings and traffic, optionally with
-  collusion tolerance and a JSON result dump.
+  collusion tolerance and a JSON result dump.  ``--trace out.jsonl``
+  records a span trace and ``--report report.json`` a full RunReport
+  (see ``docs/OBSERVABILITY.md``).
+* ``repro report`` — pretty-print a saved RunReport, optionally
+  converting its spans to Chrome ``about://tracing`` format.
 * ``repro attack`` — evaluate the LR membership detector against an
   arbitrary SNP set of a saved cohort (e.g. to double-check a release).
 * ``repro info`` — describe a saved cohort bundle.
@@ -18,16 +22,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
 from .attacks import evaluate_attack
-from .config import CollusionPolicy, PrivacyThresholds, StudyConfig
+from .config import (
+    CollusionPolicy,
+    ObservabilityConfig,
+    PrivacyThresholds,
+    StudyConfig,
+)
 from .core.protocol import run_study
 from .errors import ReproError
 from .genomics import Cohort, GenotypeMatrix, SnpPanel, SyntheticSpec, generate_cohort
+from .obs import RunReport, write_chrome_trace, write_jsonl
 
 _BUNDLE_KEYS = ("case", "control")
 
@@ -85,12 +96,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         false_positive_rate=args.alpha,
         power_threshold=args.beta,
     )
+    observe = bool(args.trace or args.report)
     config = StudyConfig(
         snp_count=cohort.num_snps,
         thresholds=thresholds,
         collusion=_collusion_policy(args.collusion, args.members),
         seed=args.seed,
         study_id=args.study_id,
+        observability=(
+            ObservabilityConfig.tracing() if observe else ObservabilityConfig.off()
+        ),
     )
     result = run_study(cohort, config, args.members)
 
@@ -128,6 +143,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"  result written to {args.json}")
+
+    if result.observability is not None:
+        if args.trace:
+            count = write_jsonl(result.observability.spans, args.trace)
+            print(f"  trace written to {args.trace} ({count} spans)")
+        if args.report:
+            result.observability.save(args.report)
+            print(f"  run report written to {args.report}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = RunReport.load(args.report)
+    print(report.render())
+    if args.chrome:
+        write_chrome_trace(report.spans, args.chrome)
+        print(f"\nchrome trace written to {args.chrome} "
+              "(load via about://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -194,7 +227,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--study-id", default="cli-study")
     run.add_argument("--json", help="write the result as JSON to this path")
+    run.add_argument(
+        "--trace", help="record spans and write a JSONL trace to this path"
+    )
+    run.add_argument(
+        "--report",
+        help="write the machine-readable RunReport JSON to this path",
+    )
     run.set_defaults(func=_cmd_run)
+
+    report = subparsers.add_parser(
+        "report", help="pretty-print a RunReport written by 'run --report'"
+    )
+    report.add_argument("report", help="RunReport JSON path")
+    report.add_argument(
+        "--chrome", help="also convert the spans to Chrome trace JSON here"
+    )
+    report.set_defaults(func=_cmd_report)
 
     attack = subparsers.add_parser(
         "attack", help="evaluate the LR membership attack on a SNP set"
@@ -225,6 +274,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``head``) closed stdout early.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -116,6 +116,51 @@ class CollusionPolicy:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing/metrics switches of one run (see ``docs/OBSERVABILITY.md``).
+
+    Disabled by default.  While disabled, every instrumentation point in
+    the stack degrades to a single attribute lookup against the shared
+    null sink — no spans, no metrics, no allocations — so observability
+    can stay compiled-in everywhere.
+
+    Attributes:
+        enabled: record spans/metrics and attach a
+            :class:`~repro.obs.RunReport` to the study result.
+        capture_messages: also record one point event per network
+            envelope (the highest-volume span source; switch off for
+            long runs where only phase/ECALL granularity matters).
+        max_spans: optional cap on collected spans; excess spans are
+            counted as dropped instead of stored, bounding memory.
+    """
+
+    enabled: bool = False
+    capture_messages: bool = True
+    max_spans: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_spans is not None:
+            _require(self.max_spans > 0, "max_spans must be positive")
+
+    @classmethod
+    def off(cls) -> "ObservabilityConfig":
+        """The default: everything disabled."""
+        return cls()
+
+    @classmethod
+    def tracing(
+        cls,
+        *,
+        capture_messages: bool = True,
+        max_spans: Optional[int] = None,
+    ) -> "ObservabilityConfig":
+        """Full tracing, as used by ``repro run --trace``."""
+        return cls(
+            enabled=True, capture_messages=capture_messages, max_spans=max_spans
+        )
+
+
+@dataclass(frozen=True)
 class StudyConfig:
     """Full configuration of one GenDPR study.
 
@@ -127,6 +172,8 @@ class StudyConfig:
             genomic data carries its own seed; this one only drives
             protocol-level choices so runs are reproducible.
         study_id: free-form identifier included in protocol messages.
+        observability: tracing/metrics switches; excluded from the
+            run's config fingerprint because it cannot affect outcomes.
     """
 
     snp_count: int
@@ -134,6 +181,9 @@ class StudyConfig:
     collusion: CollusionPolicy = field(default_factory=CollusionPolicy.none)
     seed: int = 0
     study_id: str = "study-0"
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         _require(self.snp_count > 0, "snp_count must be positive")

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from ..crypto.rng import DeterministicRng
 from ..errors import ProtocolError
+from ..obs.tracer import TRACER
 
 
 def elect_leader(member_ids: Sequence[str], seed: int, study_id: str) -> str:
@@ -30,5 +31,10 @@ def elect_leader(member_ids: Sequence[str], seed: int, study_id: str) -> str:
         raise ProtocolError("cannot elect a leader from an empty federation")
     if len(members) != len(member_ids):
         raise ProtocolError("member ids must be unique")
-    rng = DeterministicRng(f"leader-election/{study_id}/{seed}")
-    return rng.choice(members)
+    with TRACER.span(
+        "leader_election", study_id=study_id, seed=seed, members=len(members)
+    ) as span:
+        rng = DeterministicRng(f"leader-election/{study_id}/{seed}")
+        leader = rng.choice(members)
+        span.annotate(leader=leader)
+    return leader

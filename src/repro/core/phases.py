@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
+from ..obs.report import RunReport
 from .timing import PhaseTimings
 
 
@@ -68,6 +69,9 @@ class StudyResult:
     #: Residual identification power of the released set.
     release_power: float = 0.0
     collusion: Optional[CollusionReport] = None
+    #: Spans + metrics + config fingerprint of this run; populated only
+    #: when the study config enables observability.
+    observability: Optional[RunReport] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.num_members:

@@ -21,6 +21,14 @@ from ..errors import ProtocolError
 from ..genomics.partition import partition_cohort
 from ..genomics.population import Cohort
 from ..net import Envelope, SimulatedNetwork
+from ..obs import MetricsRegistry, RunReport, SpanCollector, config_fingerprint
+from ..obs.bridge import (
+    record_network,
+    record_resources,
+    record_spans,
+    record_timings,
+)
+from ..obs.tracer import TRACER
 from .federation import Federation, build_federation
 from .phases import CollusionReport, CombinationOutcome, StudyResult
 from .timing import (
@@ -59,25 +67,92 @@ class GenDPRProtocol:
         leader_id = federation.leader_id
         responses: Dict[str, bytes] = {}
         member_times: Dict[str, float] = {}
-        for member_id, frame in frames.items():
-            if member_id == leader_id:
-                raise ProtocolError("leader cannot ocall itself")
-            network.send(
-                Envelope(sender=leader_id, receiver=member_id, tag=kind, body=frame)
-            )
-            inbound = network.receive(member_id, kind)
-            begin = time.perf_counter()
-            reply = federation.hosts[member_id].handle_envelope(inbound)
-            member_times[member_id] = time.perf_counter() - begin
-            if reply is not None:
-                network.send(reply)
-                responses[member_id] = network.receive(leader_id, kind).body
+        with TRACER.span("round", kind=kind, members=len(frames)):
+            for member_id, frame in frames.items():
+                if member_id == leader_id:
+                    raise ProtocolError("leader cannot ocall itself")
+                network.send(
+                    Envelope(
+                        sender=leader_id, receiver=member_id, tag=kind, body=frame
+                    )
+                )
+                inbound = network.receive(member_id, kind)
+                begin = time.perf_counter()
+                reply = federation.hosts[member_id].handle_envelope(inbound)
+                member_times[member_id] = time.perf_counter() - begin
+                if reply is not None:
+                    network.send(reply)
+                    responses[member_id] = network.receive(leader_id, kind).body
         self._accounting.record_round(member_times)
         return responses
 
     # -- Study execution ---------------------------------------------------------
 
     def run(self) -> StudyResult:
+        """Execute the study; trace it when observability is enabled.
+
+        With ``config.observability.enabled`` the whole run executes
+        under an activated span collector and the result carries a
+        :class:`~repro.obs.RunReport` (spans + metrics + config
+        fingerprint).  Disabled (the default), the instrumented code
+        paths only touch the null sink.
+        """
+        federation = self._federation
+        obs_config = federation.config.observability
+        if not obs_config.enabled:
+            return self._execute()
+        if TRACER.enabled:
+            # A caller (run_study, or a user-held scope) already
+            # activated a collector — e.g. so that federation
+            # provisioning and leader election are part of the trace.
+            # Join it instead of nesting a second one.
+            collector = TRACER.collector
+            result = self._traced_execute()
+        else:
+            collector = SpanCollector(max_spans=obs_config.max_spans)
+            with TRACER.activated(
+                collector, capture_messages=obs_config.capture_messages
+            ):
+                result = self._traced_execute()
+        result.observability = self._build_report(result, collector)
+        return result
+
+    def _traced_execute(self) -> StudyResult:
+        federation = self._federation
+        with TRACER.span(
+            "study",
+            study_id=federation.config.study_id,
+            leader=federation.leader_id,
+            members=len(federation.hosts),
+        ):
+            return self._execute()
+
+    def _build_report(
+        self, result: StudyResult, collector: SpanCollector
+    ) -> RunReport:
+        """Bundle spans + bridged metrics into one RunReport."""
+        federation = self._federation
+        registry = MetricsRegistry()
+        spans = collector.spans()
+        record_timings(registry, result.timings)
+        record_network(registry, federation.network)
+        record_resources(registry, federation.resource_reports())
+        record_spans(registry, spans)
+        return RunReport(
+            study_id=result.study_id,
+            config_fingerprint=config_fingerprint(federation.config),
+            spans=spans,
+            metrics=registry.as_dict(),
+            meta={
+                "leader_id": result.leader_id,
+                "num_members": result.num_members,
+                "l_des": result.l_des,
+                "l_safe": len(result.l_safe),
+                "spans_dropped": getattr(collector, "dropped", 0),
+            },
+        )
+
+    def _execute(self) -> StudyResult:
         """Execute the three verification phases and build the result."""
         federation = self._federation
         config = federation.config
@@ -205,5 +280,18 @@ def run_study(
             f"config covers {config.snp_count} SNPs, cohort has {cohort.num_snps}"
         )
     datasets = partition_cohort(cohort, num_members, shuffle_seed=shuffle_seed)
+    obs_config = config.observability
+    if obs_config.enabled and not TRACER.enabled:
+        # Activate the collector around provisioning too, so leader
+        # election and attestation land in the same trace as the run;
+        # GenDPRProtocol.run() joins the active collector.
+        collector = SpanCollector(max_spans=obs_config.max_spans)
+        with TRACER.activated(
+            collector, capture_messages=obs_config.capture_messages
+        ):
+            federation = build_federation(
+                config, datasets, cohort, network=network
+            )
+            return GenDPRProtocol(federation).run()
     federation = build_federation(config, datasets, cohort, network=network)
     return GenDPRProtocol(federation).run()

@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from ..obs.tracer import TRACER
+
 #: Task labels, matching the legend of the paper's Figures 5 and 6.
 DATA_AGGREGATION = "Data Aggregation"
 INDEXING = "Indexing/Sorting/AlleleFreq."
@@ -107,11 +109,19 @@ class PhaseClock:
         self, label: str, accounting: RoundAccounting | None = None
     ) -> Iterator[None]:
         baseline_saving = accounting.parallel_saving if accounting else 0.0
-        begin = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - begin
-            if accounting is not None:
-                elapsed -= accounting.parallel_saving - baseline_saving
-            self._timings.add(label, elapsed)
+        with TRACER.span("phase", label=label) as span:
+            begin = time.perf_counter()
+            try:
+                yield
+            finally:
+                raw = time.perf_counter() - begin
+                elapsed = raw
+                if accounting is not None:
+                    elapsed -= accounting.parallel_saving - baseline_saving
+                elapsed = max(elapsed, 0.0)
+                self._timings.add(label, elapsed)
+                # The span's duration is the *corrected* phase time, so
+                # phase spans sum to the PhaseTimings totals; the raw
+                # wall time stays available as an attribute.
+                span.annotate(seconds=elapsed, raw_seconds=raw)
+                span.set_duration_seconds(elapsed)

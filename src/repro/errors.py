@@ -132,3 +132,17 @@ class MembershipLeakError(ProtocolError):
     This corresponds to a violation of GenDPR's core guarantee that raw
     genomic information never leaves a member's premises.
     """
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/metrics subsystem (:mod:`repro.obs`).
+
+    Raised for malformed trace/report documents, metric type conflicts
+    and invalid histogram or quantile parameters — never on the
+    disabled (null-sink) fast path, which cannot fail.
+    """

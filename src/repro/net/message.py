@@ -47,3 +47,15 @@ class LinkStats:
         self.messages += 1
         self.payload_bytes += len(envelope.body)
         self.wire_bytes += envelope.size()
+
+    def merge(self, other: "LinkStats") -> "LinkStats":
+        """Fold another link's totals into this one; returns ``self``.
+
+        The single aggregation path shared by
+        :meth:`SimulatedNetwork.total_stats` and the observability
+        metrics bridge, so the two can never disagree.
+        """
+        self.messages += other.messages
+        self.payload_bytes += other.payload_bytes
+        self.wire_bytes += other.wire_bytes
+        return self

@@ -22,6 +22,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..config import NetworkProfile
 from ..errors import NetworkError, UnknownPeerError
+from ..obs.tracer import TRACER
 from .message import Envelope, LinkStats
 
 
@@ -75,8 +76,20 @@ class SimulatedNetwork:
         if envelope.sender == envelope.receiver:
             raise NetworkError("a node cannot message itself over the network")
         self._links[(envelope.sender, envelope.receiver)].record(envelope)
-        self._simulated_time += self._profile.transfer_time(envelope.size())
+        wire_bytes = envelope.size()
+        advance = self._profile.transfer_time(wire_bytes)
+        self._simulated_time += advance
         self._inboxes[envelope.receiver].append(envelope)
+        if TRACER.enabled and TRACER.capture_messages:
+            TRACER.event(
+                "net.send",
+                sender=envelope.sender,
+                receiver=envelope.receiver,
+                tag=envelope.tag,
+                wire_bytes=wire_bytes,
+                clock_advance_s=advance,
+                sim_time_s=self._simulated_time,
+            )
 
     def broadcast(
         self, sender: str, receivers: Iterable[str], tag: str, body: bytes
@@ -95,16 +108,29 @@ class SimulatedNetwork:
 
         The protocol is phase-synchronous, so an empty inbox or a tag
         mismatch indicates a logic error and raises immediately rather
-        than blocking.
+        than blocking.  A mismatch leaves the inbox untouched — the
+        message is peeked, not popped, so the caller (or a debugger)
+        still sees the queue as it was.
         """
         self._require_connected(node_id)
         inbox = self._inboxes[node_id]
         if not inbox:
             raise NetworkError(f"inbox of {node_id!r} is empty")
-        envelope = inbox.popleft()
+        envelope = inbox[0]
         if tag is not None and envelope.tag != tag:
+            pending = [e.tag for e in inbox]
             raise NetworkError(
-                f"{node_id!r} expected tag {tag!r}, got {envelope.tag!r}"
+                f"{node_id!r} expected tag {tag!r}, got {envelope.tag!r} "
+                f"(pending tags: {pending})"
+            )
+        inbox.popleft()
+        if TRACER.enabled and TRACER.capture_messages:
+            TRACER.event(
+                "net.recv",
+                node=node_id,
+                sender=envelope.sender,
+                tag=envelope.tag,
+                wire_bytes=envelope.size(),
             )
         return envelope
 
@@ -126,13 +152,17 @@ class SimulatedNetwork:
     def link_stats(self, sender: str, receiver: str) -> LinkStats:
         return self._links[(sender, receiver)]
 
+    def links(self) -> Dict[Tuple[str, str], LinkStats]:
+        """Per-link stats for every link that carried traffic."""
+        return {
+            link: stats for link, stats in self._links.items() if stats.messages
+        }
+
     def total_stats(self) -> LinkStats:
         """Aggregate traffic across every link."""
         total = LinkStats()
         for stats in self._links.values():
-            total.messages += stats.messages
-            total.payload_bytes += stats.payload_bytes
-            total.wire_bytes += stats.wire_bytes
+            total.merge(stats)
         return total
 
     def traffic_matrix(self) -> Dict[Tuple[str, str], int]:

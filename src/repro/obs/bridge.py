@@ -1,0 +1,112 @@
+"""Bridges from existing accounting into a :class:`MetricsRegistry`.
+
+The codebase already keeps careful books — per-link ``LinkStats``,
+per-enclave ``ResourceReport``, per-phase ``PhaseTimings`` — but every
+bench re-aggregated them by hand.  These functions translate each of
+those into metric names once, so the RunReport (and anything else
+reading the registry) sees one coherent namespace.  The name ↔ paper
+table/figure mapping lives in ``docs/OBSERVABILITY.md``.
+
+Imports of the instrumented layers happen inside the functions: the
+``obs`` package stays import-light and cycle-free (``net``/``core``
+import ``obs``, never the reverse at module scope).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List
+
+from .metrics import MetricsRegistry, exponential_buckets
+from .span import Span
+
+#: Bucket bounds for byte-sized histograms: 16 B … 1 GiB.
+BYTE_BUCKETS = exponential_buckets(16, 4.0, 14)
+#: Bucket bounds for millisecond-scale durations: 1 µs … ~4.7 min.
+SECONDS_BUCKETS = exponential_buckets(1e-6, 4.0, 14)
+
+
+def metric_slug(label: str) -> str:
+    """A human phase label as a metric-name component.
+
+    ``"Indexing/Sorting/AlleleFreq."`` → ``"indexing_sorting_allelefreq"``.
+    """
+    slug = re.sub(r"[^a-z0-9]+", "_", label.lower()).strip("_")
+    return slug or "unnamed"
+
+
+def record_timings(registry: MetricsRegistry, timings) -> None:
+    """Feed :class:`~repro.core.timing.PhaseTimings` into phase gauges."""
+    for label, seconds in timings.seconds_by_label.items():
+        registry.gauge(f"phase.{metric_slug(label)}_ms").set(seconds * 1000.0)
+    registry.gauge("phase.total_ms").set(timings.total_seconds * 1000.0)
+
+
+def record_network(registry: MetricsRegistry, network) -> None:
+    """Feed a ``SimulatedNetwork``'s link accounting into net metrics.
+
+    Aggregation goes through :meth:`LinkStats.merge` — the same path
+    ``SimulatedNetwork.total_stats`` uses — so the bridge can never
+    drift from the network's own arithmetic.
+    """
+    from ..net.message import LinkStats  # function-level: avoids import cycle
+
+    total = LinkStats()
+    per_link = registry.histogram("net.link_wire_bytes", bounds=BYTE_BUCKETS)
+    for stats in network.links().values():
+        total.merge(stats)
+        per_link.observe(stats.wire_bytes)
+    registry.counter("net.messages").inc(total.messages)
+    registry.counter("net.wire_bytes").inc(total.wire_bytes)
+    registry.counter("net.payload_bytes").inc(total.payload_bytes)
+    registry.gauge("net.links").set(len(network.links()))
+    registry.gauge("net.sim_time_s").set(network.simulated_time)
+
+
+def record_resources(registry: MetricsRegistry, reports: Dict[str, object]) -> None:
+    """Feed per-enclave ``ResourceReport`` objects into tee metrics."""
+    peak = registry.histogram("tee.enclave_peak_memory_bytes", bounds=BYTE_BUCKETS)
+    total_ecalls = 0
+    for enclave_id, report in sorted(reports.items()):
+        registry.gauge(f"tee.peak_memory_bytes.{metric_slug(enclave_id)}").set(
+            report.peak_memory_bytes
+        )
+        registry.gauge(f"tee.cpu_utilization.{metric_slug(enclave_id)}").set(
+            report.cpu_utilization
+        )
+        peak.observe(report.peak_memory_bytes)
+        total_ecalls += report.ecall_count
+    registry.counter("tee.ecalls").inc(total_ecalls)
+
+
+def record_spans(registry: MetricsRegistry, spans: Iterable[Span]) -> None:
+    """Aggregate span-level detail the accounting objects cannot provide.
+
+    Per-message byte sizes and per-ECALL durations only exist as trace
+    events; this turns them into percentile-capable histograms.
+    """
+    message_bytes = registry.histogram("net.message_bytes", bounds=BYTE_BUCKETS)
+    ecall_seconds = registry.histogram("tee.ecall_seconds", bounds=SECONDS_BUCKETS)
+    rounds = registry.counter("protocol.rounds")
+    spans = list(spans)
+    for span in spans:
+        if span.name == "net.send":
+            wire = span.attributes.get("wire_bytes")
+            if isinstance(wire, (int, float)):
+                message_bytes.observe(wire)
+        elif span.name == "ecall":
+            ecall_seconds.observe(span.duration_seconds)
+        elif span.name == "round":
+            rounds.inc()
+    registry.counter("obs.spans").inc(len(spans))
+
+
+def phase_labels(spans: Iterable[Span]) -> List[str]:
+    """Distinct phase labels in span order (debug/report helper)."""
+    seen: List[str] = []
+    for span in spans:
+        if span.name == "phase":
+            label = str(span.attributes.get("label", "?"))
+            if label not in seen:
+                seen.append(label)
+    return seen

@@ -1,0 +1,190 @@
+"""Span exporters: JSONL, Chrome ``trace_event`` JSON, console tree.
+
+* **JSONL** — one span per line, loss-free: ``read_jsonl`` inverts
+  ``write_jsonl`` exactly (the round-trip test relies on it).  This is
+  what ``repro run --trace out.jsonl`` writes.
+* **Chrome trace** — the ``trace_event`` format consumed by
+  ``about://tracing`` / Perfetto, for visual inspection of a run.
+* **Console tree** — an indented duration tree for terminals, used by
+  ``repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import defaultdict
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from ..errors import ObservabilityError
+from .span import Span
+
+PathOrFile = Union[str, "io.TextIOBase", IO[str]]
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """Flatten one span into JSON-safe primitives."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "attributes": dict(span.attributes),
+    }
+
+
+def span_from_dict(payload: Dict[str, object]) -> Span:
+    """Rebuild a span from :func:`span_to_dict` output."""
+    try:
+        return Span(
+            name=str(payload["name"]),
+            span_id=int(payload["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                None
+                if payload.get("parent_id") is None
+                else int(payload["parent_id"])  # type: ignore[arg-type]
+            ),
+            start_ns=int(payload["start_ns"]),  # type: ignore[arg-type]
+            duration_ns=int(payload["duration_ns"]),  # type: ignore[arg-type]
+            attributes=dict(payload.get("attributes") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ObservabilityError(f"malformed span record: {exc}") from exc
+
+
+def _open_for(target: PathOrFile, mode: str):
+    if isinstance(target, str):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+def write_jsonl(spans: Iterable[Span], target: PathOrFile) -> int:
+    """Write spans as JSON Lines; returns the number written."""
+    handle, owned = _open_for(target, "w")
+    count = 0
+    try:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def read_jsonl(source: PathOrFile) -> List[Span]:
+    """Parse a JSONL trace back into spans (inverse of :func:`write_jsonl`)."""
+    handle, owned = _open_for(source, "r")
+    try:
+        spans = []
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"trace line {line_number} is not valid JSON: {exc}"
+                ) from exc
+            spans.append(span_from_dict(payload))
+        return spans
+    finally:
+        if owned:
+            handle.close()
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> Dict[str, object]:
+    """Spans as a Chrome ``trace_event`` document (``about://tracing``).
+
+    Durations use complete ("X") events; point events use instant ("i")
+    events.  Timestamps are microseconds, as the format requires.
+    """
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        event: Dict[str, object] = {
+            "name": span.name,
+            "ts": span.start_ns / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(span.attributes),
+        }
+        if span.is_event:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration_ns / 1000.0
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], target: PathOrFile) -> None:
+    """Write :func:`to_chrome_trace` output as JSON."""
+    handle, owned = _open_for(target, "w")
+    try:
+        json.dump(to_chrome_trace(spans), handle, indent=2)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def _format_attributes(span: Span, limit: int = 4) -> str:
+    parts = []
+    for key, value in list(span.attributes.items())[:limit]:
+        text = f"{value:.4g}" if isinstance(value, float) else str(value)
+        if len(text) > 32:
+            text = text[:29] + "..."
+        parts.append(f"{key}={text}")
+    if len(span.attributes) > limit:
+        parts.append("...")
+    return " ".join(parts)
+
+
+def render_span_tree(
+    spans: Sequence[Span],
+    *,
+    max_events: Optional[int] = 3,
+) -> str:
+    """Indented console tree: name, duration, attributes.
+
+    Args:
+        max_events: per parent, show at most this many point events
+            (followed by an elision count) — per-message events would
+            otherwise drown the tree.  ``None`` shows everything.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[int], List[Span]] = defaultdict(list)
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children[parent].append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_ns, s.span_id))
+
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        duration = (
+            "event" if span.is_event else f"{span.duration_seconds * 1000:.2f} ms"
+        )
+        attrs = _format_attributes(span)
+        lines.append(
+            f"{indent}{span.name}  [{duration}]" + (f"  {attrs}" if attrs else "")
+        )
+        kids = children.get(span.span_id, [])
+        events = [k for k in kids if k.is_event]
+        timed = [k for k in kids if not k.is_event]
+        shown_events = events if max_events is None else events[:max_events]
+        for kid in sorted(timed + shown_events, key=lambda s: (s.start_ns, s.span_id)):
+            render(kid, depth + 1)
+        hidden = len(events) - len(shown_events)
+        if hidden > 0:
+            lines.append(f"{'  ' * (depth + 1)}... {hidden} more events")
+
+    for root in children.get(None, []):
+        render(root, 0)
+    return "\n".join(lines)

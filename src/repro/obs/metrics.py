@@ -1,0 +1,243 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the queryable side of observability: where spans answer
+"what happened when", metrics answer "how much, in total".  The bridge
+module feeds the accounting the codebase already keeps (``LinkStats``,
+``ResourceReport``, ``PhaseTimings``) into a registry at report time,
+and the paper's tables map onto metric names (see
+``docs/OBSERVABILITY.md`` for the full mapping).
+
+Histograms use fixed bucket boundaries, so a percentile estimate is the
+upper bound of the bucket containing the requested rank: for data
+``x₁…xₙ`` and quantile ``q``, the true order statistic ``t`` satisfies
+``lower_bound < t <= percentile(q)``.  That bracketing invariant is what
+the property-based tests check.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+
+
+class Counter:
+    """Monotonically increasing count (messages, bytes, ECALLs)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (peak memory, simulated clock, utilisation)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` geometric bucket bounds: start, start·factor, …"""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ObservabilityError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default bounds: 1 µs … ~18 minutes in ¼-decade steps — wide enough
+#: for both durations (seconds) and message sizes (bytes).
+DEFAULT_BUCKETS = exponential_buckets(1e-6, 4.0, 25)
+
+
+class Histogram:
+    """Fixed-bucket histogram with bracketed percentile estimates.
+
+    A value ``v`` lands in the first bucket whose bound is ``>= v``;
+    values above every bound land in an implicit overflow bucket whose
+    reported percentile is the observed maximum.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be strictly increasing"
+            )
+        self.name = name
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(f"histogram {self.name!r}: NaN observation")
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Returns ``None`` on an empty histogram.  The estimate ``e``
+        brackets the true order statistic ``t``: the bound below ``e``
+        is ``< t <= e`` (for the overflow bucket, ``e`` is the observed
+        maximum, which still satisfies ``t <= e``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return None
+            rank = max(1, math.ceil(q * self._count))
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if index < len(self._bounds):
+                        return self._bounds[index]
+                    return self._max
+            return self._max  # unreachable; defensive
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot with percentile estimates (RunReport embeds this)."""
+        payload: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "bounds": list(self._bounds),
+        }
+        with self._lock:
+            payload["counts"] = list(self._counts)
+        return payload
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ObservabilityError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if bounds is None:
+            return self._get_or_create(name, Histogram)
+        return self._get_or_create(name, Histogram, bounds)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dump grouped by metric type, as the RunReport stores it."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.as_dict()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Optional, Set, Type, TypeVar
 from ..crypto.kdf import derive_subkey
 from ..crypto.rng import DeterministicRng, system_random_bytes
 from ..errors import EnclaveCrashedError, EnclaveViolationError, TEEError
+from ..obs.tracer import TRACER
 from .measurement import Measurement, measure_class
 from .resources import ResourceMeter
 
@@ -107,6 +108,11 @@ class Enclave:
                 f"{name!r} is not an ECALL of {type(self).__name__}"
             )
         method = getattr(self, self._ecalls[name])
+        if TRACER.enabled:
+            with TRACER.span(
+                "ecall", enclave=self.enclave_id, ecall=name, label=label or name
+            ), self.meter.measure(label or name):
+                return method(*args, **kwargs)
         with self.meter.measure(label or name):
             return method(*args, **kwargs)
 

@@ -22,6 +22,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from ..obs.tracer import TRACER
+
 #: Fixed overhead modelling Gramine + enclave runtime pages (bytes).
 BASELINE_MEMORY_BYTES = 2_000 * 1024
 
@@ -80,7 +82,17 @@ class ResourceMeter:
         if num_bytes < 0:
             raise ValueError("buffer size must be non-negative")
         self._buffers[name] = num_bytes
-        self._peak_memory = max(self._peak_memory, self.current_memory_bytes)
+        current = self.current_memory_bytes
+        if current > self._peak_memory:
+            self._peak_memory = current
+        if TRACER.enabled:
+            TRACER.event(
+                "tee.memory",
+                buffer=name,
+                buffer_bytes=num_bytes,
+                current_bytes=current,
+                peak_bytes=self._peak_memory,
+            )
 
     def release_buffer(self, name: str) -> None:
         """Drop a named buffer; releasing an unknown name is a no-op."""

@@ -9,7 +9,14 @@ from hypothesis import strategies as st
 
 from repro.config import NetworkProfile
 from repro.errors import NetworkError, SerializationError, UnknownPeerError
-from repro.net import Envelope, SimulatedNetwork, decode, encode, encoded_size
+from repro.net import (
+    Envelope,
+    LinkStats,
+    SimulatedNetwork,
+    decode,
+    encode,
+    encoded_size,
+)
 
 
 class TestSerialization:
@@ -146,6 +153,24 @@ class TestSimulatedNetwork:
         with pytest.raises(NetworkError):
             net.receive("b", "t2")
 
+    def test_tag_mismatch_preserves_inbox(self):
+        net = self._net()
+        net.send(Envelope("a", "b", "t1", b"payload"))
+        with pytest.raises(NetworkError):
+            net.receive("b", "t2")
+        # The mismatched envelope is peeked, not consumed: the correct
+        # receive still succeeds afterwards.
+        assert net.pending("b") == 1
+        assert net.receive("b", "t1").body == b"payload"
+        assert net.pending("b") == 0
+
+    def test_tag_mismatch_reports_pending_tags(self):
+        net = self._net()
+        net.send(Envelope("a", "b", "t1", b""))
+        net.send(Envelope("c", "b", "t3", b""))
+        with pytest.raises(NetworkError, match="t1.*t3"):
+            net.receive("b", "t2")
+
     def test_empty_inbox(self):
         with pytest.raises(NetworkError):
             self._net().receive("a")
@@ -190,6 +215,30 @@ class TestSimulatedNetwork:
         net.heal("b")
         net.send(Envelope("a", "b", "t", b""))
         assert net.pending("b") == 1
+
+    def test_link_stats_merge(self):
+        net = self._net()
+        net.send(Envelope("a", "b", "t", bytes(100)))
+        net.send(Envelope("b", "c", "t", bytes(50)))
+        ab = net.link_stats("a", "b")
+        bc = net.link_stats("b", "c")
+        merged = LinkStats()
+        assert merged.merge(ab) is merged  # chains
+        merged.merge(bc)
+        assert merged.messages == ab.messages + bc.messages
+        assert merged.payload_bytes == ab.payload_bytes + bc.payload_bytes
+        assert merged.wire_bytes == ab.wire_bytes + bc.wire_bytes
+        total = net.total_stats()
+        assert (total.messages, total.payload_bytes, total.wire_bytes) == (
+            merged.messages, merged.payload_bytes, merged.wire_bytes
+        )
+
+    def test_links_view(self):
+        net = self._net()
+        net.send(Envelope("a", "b", "t", bytes(10)))
+        links = net.links()
+        assert set(links) == {("a", "b")}
+        assert links[("a", "b")].messages == 1
 
     def test_traffic_accounting(self):
         net = self._net()
