@@ -5,6 +5,7 @@ The runnable benchmarks live in ``benchmarks/`` at the repository root
 machinery so those files stay declarative.
 """
 
+from .fig5 import fig5_report, study_decisions
 from .reporting import (
     render_collusion_table,
     render_resource_table,
@@ -29,6 +30,8 @@ from .workloads import (
 )
 
 __all__ = [
+    "fig5_report",
+    "study_decisions",
     "render_collusion_table",
     "render_resource_table",
     "render_runtime_figure",

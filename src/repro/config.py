@@ -115,6 +115,52 @@ class CollusionPolicy:
                 )
 
 
+#: Supported federation execution modes.
+EXECUTION_MODES = ("sequential", "parallel")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the simulated federation executes member work within a round.
+
+    The paper's evaluation assumes the ``G`` member enclaves compute
+    concurrently on separate servers.  ``parallel`` makes the simulation
+    do the same — each OCALL round fans member frames out to a thread
+    pool (numpy and hashlib release the GIL on the hot paths) — while
+    ``sequential`` keeps the original one-member-at-a-time loop.  Both
+    modes produce bit-identical study outcomes; only wall-clock and the
+    round-accounting reconciliation differ (see ``docs/PERFORMANCE.md``).
+
+    Attributes:
+        mode: ``"sequential"`` or ``"parallel"``.
+        max_workers: thread-pool width for parallel rounds; defaults to
+            one worker per member when unset.
+    """
+
+    mode: str = "sequential"
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.mode in EXECUTION_MODES,
+            f"execution mode must be one of {EXECUTION_MODES}, got {self.mode!r}",
+        )
+        if self.max_workers is not None:
+            _require(self.max_workers > 0, "max_workers must be positive")
+
+    @classmethod
+    def sequential(cls) -> "ExecutionConfig":
+        return cls(mode="sequential")
+
+    @classmethod
+    def parallel(cls, max_workers: Optional[int] = None) -> "ExecutionConfig":
+        return cls(mode="parallel", max_workers=max_workers)
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.mode == "parallel"
+
+
 @dataclass(frozen=True)
 class ObservabilityConfig:
     """Tracing/metrics switches of one run (see ``docs/OBSERVABILITY.md``).
@@ -174,6 +220,9 @@ class StudyConfig:
         study_id: free-form identifier included in protocol messages.
         observability: tracing/metrics switches; excluded from the
             run's config fingerprint because it cannot affect outcomes.
+        execution: sequential vs parallel round execution; also excluded
+            from the fingerprint — both modes yield bit-identical
+            outcomes (enforced by tests).
     """
 
     snp_count: int
@@ -184,6 +233,7 @@ class StudyConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         _require(self.snp_count > 0, "snp_count must be positive")

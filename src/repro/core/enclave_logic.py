@@ -24,9 +24,12 @@ Data flow per phase (paper Sections 5.3-5.5):
   aggregating them with its own and the reference set's, and keeping
   the better chi-squared-ranked SNP of each dependent pair.
 * **Phase 3 (LR-test)** — leader broadcasts the global case/reference
-  frequency vectors (per combination), members return local LR
-  matrices, the leader merges them with its own and the reference
-  matrix and runs the empirical safe-subset search.
+  frequency vectors, members return local LR matrices, the leader
+  merges them with its own and the reference matrix and runs the
+  empirical safe-subset search.  All collusion combinations (and the
+  plain track) are batched into a *single* request/response round:
+  each member receives every entry it participates in at once and
+  answers with all of its matrices in one frame.
 
 Collusion tolerance (Section 5.6) runs every phase over all
 ``C(G, G-f)`` honest-member combinations and intersects the outcomes;
@@ -105,6 +108,11 @@ class GenDPREnclave(Enclave):
         self._combo_safe: Dict[str, Tuple[int, ...]] = {}
         self._release_power = 0.0
         self._lr_request_counter = 0
+        # Moment-exchange cache effectiveness (observability only, not
+        # protocol state): pooled-lookup count vs. pairs actually fetched
+        # from members over the wire.
+        self._ld_pairs_requested = 0
+        self._ld_pairs_fetched = 0
         # Member-side record of leader broadcasts.
         self._received_retained: Dict[str, List[int]] = {}
         # Outbound payload audit trail (kind, peer, bytes, genotype_rows).
@@ -314,22 +322,6 @@ class GenDPREnclave(Enclave):
         finally:
             self.meter.release_buffer(buffer_name)
 
-    def _local_lr_matrix(
-        self,
-        store: SealedColumnStore,
-        columns: Sequence[int],
-        case_freqs: np.ndarray,
-        ref_freqs: np.ndarray,
-        buffer_label: str,
-    ) -> np.ndarray:
-        with ColumnReader(self, store) as reader:
-            genotypes = reader.columns(list(columns))
-            self.meter.register_buffer(buffer_label, genotypes.nbytes * 9)
-            try:
-                return lr_test.lr_matrix(genotypes, case_freqs, ref_freqs)
-            finally:
-                self.meter.release_buffer(buffer_label)
-
     # ------------------------------------------------------------------
     # Member-side ECALLs (answer leader requests)
     # ------------------------------------------------------------------
@@ -369,21 +361,47 @@ class GenDPREnclave(Enclave):
 
     @ecall
     def answer_lr(self, store: SealedColumnStore, frame: bytes) -> bytes:
-        """Build this member's local LR-matrix for one combination."""
+        """Build this member's local LR matrices for one batched round.
+
+        The leader ships every (combination, frequency-vector) entry
+        this member participates in as one request: distinct column
+        sets are gathered from the sealed store once each, then every
+        entry's ``N x L`` matrix is computed against its own frequency
+        vectors and all of them travel back in a single frame.
+        """
         leader = self._config()["leader_id"]
         request = self._open(leader, "lr", frame)
-        columns = [int(c) for c in request["columns"]]
-        matrix = self._local_lr_matrix(
-            store,
-            columns,
-            request["case_freqs"],
-            request["ref_freqs"],
-            buffer_label=f"lr-local/{request['req_id']}",
-        )
+        req_id = request["req_id"]
+        column_sets = {
+            set_id: [int(c) for c in cols]
+            for set_id, cols in request["column_sets"].items()
+        }
+        matrices: Dict[str, np.ndarray] = {}
+        with ColumnReader(self, store) as reader:
+            gathered = {
+                set_id: reader.columns(cols)
+                for set_id, cols in sorted(column_sets.items())
+            }
+            for entry in request["requests"]:
+                set_id = entry["set"]
+                if set_id not in gathered:
+                    raise ProtocolError(
+                        f"LR entry {entry['rid']!r} references unknown "
+                        f"column set {set_id!r}"
+                    )
+                genotypes = gathered[set_id]
+                label = f"lr-local/{req_id}/{entry['rid']}"
+                self.meter.register_buffer(label, genotypes.nbytes * 9)
+                try:
+                    matrices[entry["rid"]] = lr_test.lr_matrix(
+                        genotypes, entry["case_freqs"], entry["ref_freqs"]
+                    )
+                finally:
+                    self.meter.release_buffer(label)
         return self._protect(
             leader,
             "lr",
-            {"req_id": request["req_id"], "matrix": matrix},
+            {"req_id": req_id, "matrices": matrices},
         )
 
     @ecall
@@ -565,6 +583,7 @@ class GenDPREnclave(Enclave):
         """One request/response round for pair moments not yet cached."""
         members = self._other_members()
         missing = [pair for pair in pairs if pair not in self._ld_cached]
+        self._ld_pairs_fetched += len(missing)
         if not missing:
             return
         self._lr_request_counter += 1
@@ -611,6 +630,7 @@ class GenDPREnclave(Enclave):
         ref_reader: ColumnReader,
     ) -> ld.PairMoments:
         """Pooled moments of a pair for one combination (case + reference)."""
+        self._ld_pairs_requested += 1
         total = self._reference_moments(ref_reader, pair)
         for member in combo_members:
             if member == self.enclave_id:
@@ -635,6 +655,22 @@ class GenDPREnclave(Enclave):
         cutoff = config["ld_cutoff"]
         survivor_sets: List[set] = []
         with ColumnReader(self, ref_store) as ref_reader:
+            # One prefetch round covering the union of every walk's
+            # sliding window: all combinations traverse the intersected
+            # list and the plain track the un-intersected one, so after
+            # this round the per-walk window fetches below are fully
+            # cached and issue no further rounds (only rare lookahead
+            # misses still go to the members).
+            union_window = dict.fromkeys(self._window_pairs(l_prime))
+            if len(self._combos) > 1:
+                union_window.update(
+                    dict.fromkeys(
+                        self._window_pairs(self._plain_retained["prime"])
+                    )
+                )
+            self._fetch_moments(
+                list(union_window), store, ref_reader, ocall
+            )
             for combo_id, _f, combo_members in self._combos:
                 survivor_sets.append(
                     set(
@@ -666,6 +702,15 @@ class GenDPREnclave(Enclave):
         if len(self._combos) == 1:
             self._plain_retained["double_prime"] = list(retained)
         return list(retained)
+
+    @staticmethod
+    def _window_pairs(l_prime: List[int]) -> List[Tuple[int, int]]:
+        """The sliding-window pair list a greedy walk over ``l_prime`` uses."""
+        return [
+            (l_prime[i], l_prime[j])
+            for i in range(len(l_prime) - 1)
+            for j in range(i + 1, min(i + 1 + _LD_WINDOW, len(l_prime)))
+        ]
 
     def _ld_greedy(
         self,
@@ -699,13 +744,10 @@ class GenDPREnclave(Enclave):
         # only ever compares SNPs whose positions are close unless one
         # candidate outlives a whole LD block, so a small window covers
         # almost every comparison and stragglers fall back to on-demand
-        # lookahead rounds below.
-        window = [
-            (l_prime[i], l_prime[j])
-            for i in range(len(l_prime) - 1)
-            for j in range(i + 1, min(i + 1 + _LD_WINDOW, len(l_prime)))
-        ]
-        self._fetch_moments(window, store, ref_reader, ocall)
+        # lookahead rounds below.  (When ``lead_run_ld`` already issued
+        # its union prefetch this finds everything cached and costs no
+        # round at all.)
+        self._fetch_moments(self._window_pairs(l_prime), store, ref_reader, ocall)
 
         def get_moments(left: int, right: int, position: int) -> ld.PairMoments:
             pair = (left, right)
@@ -730,44 +772,101 @@ class GenDPREnclave(Enclave):
         ref_store: SealedColumnStore,
         ocall: OcallExchange,
     ) -> List[int]:
-        """Phase 3: distributed LR-test, intersected across combinations."""
+        """Phase 3: distributed LR-test, intersected across combinations.
+
+        Every combination — and, with collusion tolerance, the plain
+        (collusion-oblivious) Table 5 baseline — is evaluated from a
+        *single* batched request/response round: the per-combination
+        protocol's ``O(C(G, G-f))`` rounds collapse to one, while each
+        merged matrix stays byte-identical to what the per-combination
+        exchange produced (members compute the same ``lr_matrix`` over
+        the same columns and frequency vectors, merged in the same
+        member order).
+        """
         self._require_leader()
         if "double_prime" not in self._retained:
             raise PhaseOrderError("LD phase has not run")
         config = self._config()
         columns = self._retained["double_prime"]
         alpha, beta = config["alpha"], config["beta"]
-        if not columns:
-            self._retained["safe"] = []
-            self._release_power = 0.0
-            self._run_plain_lr(store, ref_store, ocall, alpha, beta)
-            return []
-        full_case_matrix: Optional[np.ndarray] = None
-        full_ref_matrix: Optional[np.ndarray] = None
-        survivor_sets: List[set] = []
-        with ColumnReader(self, ref_store) as ref_reader:
-            ref_genotypes = ref_reader.columns(columns)
-        for combo_id, _f, combo_members in self._combos:
-            case_matrix, ref_matrix = self._combo_lr_matrices(
-                combo_id, combo_members, columns, store, ref_genotypes, ocall
+        plain_track = len(self._combos) > 1
+        plain_columns = (
+            self._plain_retained.get("double_prime", []) if plain_track else []
+        )
+
+        def entry_freqs(combo_id: str, cols: List[int]):
+            case = (
+                self._combo_counts[combo_id][cols].astype(np.float64)
+                / self._combo_sizes[combo_id]
             )
+            ref = (
+                self._reference_counts[cols].astype(np.float64)
+                / self._reference_rows
+            )
+            return case, ref
+
+        # Distinct column lists are shipped once per member and
+        # referenced by set id from each entry; with collusion tolerance
+        # there are at most two (the intersected list and the
+        # un-intersected plain list).
+        column_sets: Dict[str, List[int]] = {}
+        entries: List[Dict[str, Any]] = []
+        if columns:
+            column_sets["main"] = [int(c) for c in columns]
+            for combo_id, _f, combo_members in self._combos:
+                case_freqs, ref_freqs = entry_freqs(combo_id, columns)
+                entries.append(
+                    {
+                        "rid": combo_id,
+                        "set": "main",
+                        "members": combo_members,
+                        "case_freqs": case_freqs,
+                        "ref_freqs": ref_freqs,
+                    }
+                )
+        if plain_track and plain_columns:
+            column_sets["plain"] = [int(c) for c in plain_columns]
+            case_freqs, ref_freqs = entry_freqs("f0", plain_columns)
+            entries.append(
+                {
+                    "rid": "plain",
+                    "set": "plain",
+                    "members": self._combos[0][2],
+                    "case_freqs": case_freqs,
+                    "ref_freqs": ref_freqs,
+                }
+            )
+        merged = self._batched_lr_matrices(
+            store, ref_store, column_sets, entries, ocall
+        )
+
+        if columns:
             order = pipeline.lr_ranking_order(columns, self._ranking("f0"))
-            selection = lr_test.select_safe_subset(
-                case_matrix, ref_matrix, order, alpha=alpha, beta=beta
-            )
-            safe = tuple(
-                sorted(columns[c] for c in selection.selected_columns)
-            )
-            self._combo_safe[combo_id] = safe
-            survivor_sets.append(set(safe))
-            if combo_id == "f0":
-                full_case_matrix = case_matrix
-                full_ref_matrix = ref_matrix
-        safe_final = sorted(set.intersection(*survivor_sets))
+            full_case_matrix: Optional[np.ndarray] = None
+            full_ref_matrix: Optional[np.ndarray] = None
+            survivor_sets: List[set] = []
+            for combo_id, _f, _members in self._combos:
+                case_matrix, ref_matrix = merged[combo_id]
+                selection = lr_test.select_safe_subset(
+                    case_matrix, ref_matrix, order, alpha=alpha, beta=beta
+                )
+                safe = tuple(
+                    sorted(columns[c] for c in selection.selected_columns)
+                )
+                self._combo_safe[combo_id] = safe
+                survivor_sets.append(set(safe))
+                if combo_id == "f0":
+                    full_case_matrix = case_matrix
+                    full_ref_matrix = ref_matrix
+            safe_final = sorted(set.intersection(*survivor_sets))
+        else:
+            full_case_matrix = full_ref_matrix = None
+            safe_final = []
         self._retained["safe"] = safe_final
         # Residual power of the actually-released set under the full data.
         if safe_final and full_case_matrix is not None:
-            positions = [columns.index(s) for s in safe_final]
+            position = {snp: i for i, snp in enumerate(columns)}
+            positions = [position[s] for s in safe_final]
             self._release_power = lr_test.empirical_power(
                 lr_test.lr_scores(full_case_matrix, positions),
                 lr_test.lr_scores(full_ref_matrix, positions),
@@ -775,116 +874,156 @@ class GenDPREnclave(Enclave):
             )
         else:
             self._release_power = 0.0
-        self.meter.release_buffer("lr-merged")
-        if len(self._combos) == 1:
+        if not plain_track:
             self._plain_retained["safe"] = list(safe_final)
+        elif "plain" in merged:
+            case_matrix, ref_matrix = merged["plain"]
+            order = pipeline.lr_ranking_order(
+                plain_columns, self._ranking("f0")
+            )
+            selection = lr_test.select_safe_subset(
+                case_matrix, ref_matrix, order, alpha=alpha, beta=beta
+            )
+            self._plain_retained["safe"] = sorted(
+                plain_columns[c] for c in selection.selected_columns
+            )
         else:
-            self._run_plain_lr(store, ref_store, ocall, alpha, beta)
+            self._plain_retained["safe"] = []
+        self.meter.release_buffer("lr-merged")
         return list(safe_final)
 
-    def _run_plain_lr(
+    def _batched_lr_matrices(
         self,
         store: SealedColumnStore,
         ref_store: SealedColumnStore,
+        column_sets: Dict[str, List[int]],
+        entries: List[Dict[str, Any]],
         ocall: OcallExchange,
-        alpha: float,
-        beta: float,
-    ) -> None:
-        """LR-test of the plain (collusion-oblivious) track.
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """One batched round producing every entry's merged LR matrices.
 
-        Runs the full-federation selection over the *un-intersected*
-        Phase 2 survivors, producing the release a federation without
-        collusion tolerance would have made — the Table 5 baseline.
+        Each member receives one request carrying the column sets and
+        the (rid, frequency-vector) entries it participates in, and
+        answers with all of its local matrices in one frame.  Returns
+        ``{rid: (case_matrix, ref_matrix)}`` with rows merged in the
+        entry's (sorted) member order — the same layout the
+        per-combination protocol produced.
         """
-        if len(self._combos) == 1:
-            self._plain_retained["safe"] = list(self._retained.get("safe", []))
-            return
-        plain_columns = self._plain_retained.get("double_prime", [])
-        if not plain_columns:
-            self._plain_retained["safe"] = []
-            return
-        with ColumnReader(self, ref_store) as ref_reader:
-            ref_genotypes = ref_reader.columns(plain_columns)
-        full_members = self._combos[0][2]
-        case_matrix, ref_matrix = self._combo_lr_matrices(
-            "f0", full_members, plain_columns, store, ref_genotypes, ocall
-        )
-        order = pipeline.lr_ranking_order(plain_columns, self._ranking("f0"))
-        selection = lr_test.select_safe_subset(
-            case_matrix, ref_matrix, order, alpha=alpha, beta=beta
-        )
-        self._plain_retained["safe"] = sorted(
-            plain_columns[c] for c in selection.selected_columns
-        )
-        self.meter.release_buffer("lr-merged")
-
-    def _combo_lr_matrices(
-        self,
-        combo_id: str,
-        combo_members: Tuple[str, ...],
-        columns: List[int],
-        store: SealedColumnStore,
-        ref_genotypes: np.ndarray,
-        ocall: OcallExchange,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Broadcast combo frequencies, gather and merge LR matrices."""
-        case_freqs = (
-            self._combo_counts[combo_id][columns].astype(np.float64)
-            / self._combo_sizes[combo_id]
-        )
-        ref_freqs = (
-            self._reference_counts[columns].astype(np.float64)
-            / self._reference_rows
-        )
+        if not entries:
+            return {}
         self._lr_request_counter += 1
         request_id = f"lr-{self._lr_request_counter}"
-        payload = {
-            "req_id": request_id,
-            "combo_id": combo_id,
-            "columns": [int(c) for c in columns],
-            "case_freqs": case_freqs,
-            "ref_freqs": ref_freqs,
-        }
-        remote_members = [m for m in combo_members if m != self.enclave_id]
-        requests = {
-            member: self._protect(member, "lr", payload)
-            for member in remote_members
-        }
-        responses = ocall("lr", requests)
-        parts: List[np.ndarray] = []
-        for member in combo_members:  # sorted order fixes row layout
-            if member == self.enclave_id:
-                parts.append(
-                    self._local_lr_matrix(
-                        store,
-                        columns,
-                        case_freqs,
-                        ref_freqs,
-                        buffer_label=f"lr-local/{request_id}",
-                    )
-                )
-                continue
+        member_entries: Dict[str, List[Dict[str, Any]]] = {}
+        for entry in entries:
+            for member in entry["members"]:
+                if member != self.enclave_id:
+                    member_entries.setdefault(member, []).append(entry)
+        requests = {}
+        for member, owned in member_entries.items():
+            sets_used = sorted({e["set"] for e in owned})
+            payload = {
+                "req_id": request_id,
+                "column_sets": {s: column_sets[s] for s in sets_used},
+                "requests": [
+                    {
+                        "rid": e["rid"],
+                        "set": e["set"],
+                        "case_freqs": e["case_freqs"],
+                        "ref_freqs": e["ref_freqs"],
+                    }
+                    for e in owned
+                ],
+            }
+            requests[member] = self._protect(member, "lr", payload)
+        responses = ocall("lr", requests) if requests else {}
+        answers: Dict[str, Dict[str, Any]] = {}
+        for member in sorted(member_entries):
+            if member not in responses:
+                raise ProtocolError(f"no LR answer received from {member}")
             answer = self._open(member, "lr", responses[member])
             if answer["req_id"] != request_id:
                 raise ProtocolError(f"stale LR response from {member}")
-            matrix = np.asarray(answer["matrix"], dtype=np.float64)
-            expected_shape = (self._member_sizes[member], len(columns))
-            if matrix.shape != expected_shape:
-                raise ProtocolError(
-                    f"LR matrix from {member} has shape {matrix.shape}, "
-                    f"expected {expected_shape}"
-                )
-            parts.append(matrix)
-        case_matrix = np.vstack(parts)
-        ref_matrix = lr_test.lr_matrix(ref_genotypes, case_freqs, ref_freqs)
-        self.meter.register_buffer(
-            "lr-merged", case_matrix.nbytes + ref_matrix.nbytes
+            answers[member] = answer["matrices"]
+        # Gather each distinct column set once from the leader's own and
+        # the reference store (instead of once per combination).
+        leader_sets = sorted(
+            {e["set"] for e in entries if self.enclave_id in e["members"]}
         )
-        return case_matrix, ref_matrix
+        local_genotypes: Dict[str, np.ndarray] = {}
+        if leader_sets:
+            with ColumnReader(self, store) as reader:
+                for set_id in leader_sets:
+                    local_genotypes[set_id] = reader.columns(
+                        list(column_sets[set_id])
+                    )
+        ref_genotypes: Dict[str, np.ndarray] = {}
+        with ColumnReader(self, ref_store) as ref_reader:
+            for set_id in sorted({e["set"] for e in entries}):
+                ref_genotypes[set_id] = ref_reader.columns(
+                    list(column_sets[set_id])
+                )
+        merged: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for entry in entries:
+            rid, set_id = entry["rid"], entry["set"]
+            width = len(column_sets[set_id])
+            parts: List[np.ndarray] = []
+            for member in entry["members"]:  # sorted order fixes row layout
+                if member == self.enclave_id:
+                    genotypes = local_genotypes[set_id]
+                    label = f"lr-local/{request_id}/{rid}"
+                    self.meter.register_buffer(label, genotypes.nbytes * 9)
+                    try:
+                        parts.append(
+                            lr_test.lr_matrix(
+                                genotypes,
+                                entry["case_freqs"],
+                                entry["ref_freqs"],
+                            )
+                        )
+                    finally:
+                        self.meter.release_buffer(label)
+                    continue
+                member_matrices = answers[member]
+                if rid not in member_matrices:
+                    raise ProtocolError(
+                        f"LR answer from {member} misses entry {rid!r}"
+                    )
+                matrix = np.asarray(member_matrices[rid], dtype=np.float64)
+                expected_shape = (self._member_sizes[member], width)
+                if matrix.shape != expected_shape:
+                    raise ProtocolError(
+                        f"LR matrix from {member} has shape {matrix.shape}, "
+                        f"expected {expected_shape}"
+                    )
+                parts.append(matrix)
+            case_matrix = np.vstack(parts)
+            ref_matrix = lr_test.lr_matrix(
+                ref_genotypes[set_id], entry["case_freqs"], entry["ref_freqs"]
+            )
+            self.meter.register_buffer(
+                "lr-merged", case_matrix.nbytes + ref_matrix.nbytes
+            )
+            merged[rid] = (case_matrix, ref_matrix)
+        return merged
 
     # ------------------------------------------------------------------
     # Results and introspection
     # ------------------------------------------------------------------
+
+    @ecall
+    def lead_exchange_stats(self) -> Dict[str, int]:
+        """Moment-exchange cache counters (for the observability bridge).
+
+        ``ld_pairs_requested`` counts pooled pair-moment lookups across
+        every combination's walk; ``ld_pairs_fetched`` counts pairs that
+        actually crossed the wire.  Their gap is work the moment caches
+        (and the union window prefetch) absorbed.
+        """
+        self._require_leader()
+        return {
+            "ld_pairs_requested": self._ld_pairs_requested,
+            "ld_pairs_fetched": self._ld_pairs_fetched,
+        }
 
     @ecall
     def lead_combo_outcomes(self) -> List[Dict[str, Any]]:

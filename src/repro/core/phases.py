@@ -69,6 +69,12 @@ class StudyResult:
     #: Residual identification power of the released set.
     release_power: float = 0.0
     collusion: Optional[CollusionReport] = None
+    #: How the OCALL rounds were executed ("sequential" or "parallel").
+    execution_mode: str = "sequential"
+    #: Request/response round counts per OCALL kind (e.g. ``{"lr": 1}``);
+    #: the batched Phase-3 protocol keeps ``lr`` at one round regardless
+    #: of how many collusion combinations were evaluated.
+    ocall_rounds: Dict[str, int] = field(default_factory=dict)
     #: Spans + metrics + config fingerprint of this run; populated only
     #: when the study config enables observability.
     observability: Optional[RunReport] = None

@@ -14,7 +14,8 @@ and accounting.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
 
 from ..config import StudyConfig
 from ..errors import ProtocolError
@@ -23,8 +24,10 @@ from ..genomics.population import Cohort
 from ..net import Envelope, SimulatedNetwork
 from ..obs import MetricsRegistry, RunReport, SpanCollector, config_fingerprint
 from ..obs.bridge import (
+    record_cache_stats,
     record_network,
     record_resources,
+    record_rounds,
     record_spans,
     record_timings,
 )
@@ -48,6 +51,7 @@ class GenDPRProtocol:
     def __init__(self, federation: Federation):
         self._federation = federation
         self._accounting = RoundAccounting()
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     @property
     def federation(self) -> Federation:
@@ -60,8 +64,22 @@ class GenDPRProtocol:
 
         Per-member enclave compute time is recorded so the phase clock
         can apply the parallel-round correction (members run on separate
-        servers in a real deployment).
+        servers in a real deployment).  With
+        ``config.execution.mode == "parallel"`` the members of a round
+        are serviced concurrently on a thread pool; both modes produce
+        bit-identical responses (and therefore study outcomes) — only
+        the wall clock differs.
         """
+        if self._federation.leader_id in frames:
+            raise ProtocolError("leader cannot ocall itself")
+        execution = self._federation.config.execution
+        if execution.is_parallel and len(frames) > 1:
+            return self._exchange_parallel(kind, frames)
+        return self._exchange_sequential(kind, frames)
+
+    def _exchange_sequential(
+        self, kind: str, frames: Dict[str, bytes]
+    ) -> Dict[str, bytes]:
         federation = self._federation
         network = federation.network
         leader_id = federation.leader_id
@@ -69,8 +87,6 @@ class GenDPRProtocol:
         member_times: Dict[str, float] = {}
         with TRACER.span("round", kind=kind, members=len(frames)):
             for member_id, frame in frames.items():
-                if member_id == leader_id:
-                    raise ProtocolError("leader cannot ocall itself")
                 network.send(
                     Envelope(
                         sender=leader_id, receiver=member_id, tag=kind, body=frame
@@ -83,8 +99,93 @@ class GenDPRProtocol:
                 if reply is not None:
                     network.send(reply)
                     responses[member_id] = network.receive(leader_id, kind).body
-        self._accounting.record_round(member_times)
+        self._accounting.record_round(member_times, kind=kind)
         return responses
+
+    def _exchange_parallel(
+        self, kind: str, frames: Dict[str, bytes]
+    ) -> Dict[str, bytes]:
+        """Concurrent fan-out: one worker services one member per round.
+
+        Requests were already built (and AEAD-protected) sequentially by
+        the leader enclave, so per-channel sequence numbers are
+        deterministic; each worker touches only its own member's host,
+        channel and inbox.  Replies land in the leader inbox in arrival
+        order, so they are drained keyed by sender and re-ordered to the
+        request order before returning — the response dict is
+        byte-identical to the sequential path's.
+        """
+        federation = self._federation
+        network = federation.network
+        leader_id = federation.leader_id
+        member_times: Dict[str, float] = {}
+        with TRACER.span("round", kind=kind, members=len(frames), concurrent=True):
+            parent = TRACER.current_span_id() if TRACER.enabled else None
+
+            def service(member_id: str, frame: bytes) -> Tuple[float, bool]:
+                with TRACER.propagated(parent):
+                    network.send(
+                        Envelope(
+                            sender=leader_id,
+                            receiver=member_id,
+                            tag=kind,
+                            body=frame,
+                        )
+                    )
+                    inbound = network.receive(member_id, kind)
+                    # thread_time, not perf_counter: wall time on a
+                    # worker includes slices where sibling threads were
+                    # scheduled, which would inflate this member's
+                    # modelled compute; CPU time of the worker thread is
+                    # what the member's own server would spend.
+                    begin = time.thread_time()
+                    reply = federation.hosts[member_id].handle_envelope(inbound)
+                    elapsed = time.thread_time() - begin
+                    if reply is not None:
+                        network.send(reply)
+                    return elapsed, reply is not None
+
+            executor = self._ensure_executor()
+            wall_begin = time.perf_counter()
+            futures = {
+                member_id: executor.submit(service, member_id, frame)
+                for member_id, frame in frames.items()
+            }
+            replies_expected = 0
+            for member_id, future in futures.items():
+                elapsed, replied = future.result()
+                member_times[member_id] = elapsed
+                replies_expected += 1 if replied else 0
+            wall = time.perf_counter() - wall_begin
+            arrived: Dict[str, bytes] = {}
+            for _ in range(replies_expected):
+                envelope = network.receive(leader_id, kind)
+                arrived[envelope.sender] = envelope.body
+        self._accounting.record_round(
+            member_times, kind=kind, wall_seconds=wall, concurrent=True
+        )
+        # Deterministic response order: request order, not arrival order.
+        return {
+            member_id: arrived[member_id]
+            for member_id in frames
+            if member_id in arrived
+        }
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            execution = self._federation.config.execution
+            width = max(1, len(self._federation.hosts) - 1)
+            self._executor = ThreadPoolExecutor(
+                max_workers=execution.max_workers or width,
+                thread_name_prefix="ocall",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # -- Study execution ---------------------------------------------------------
 
@@ -99,23 +200,26 @@ class GenDPRProtocol:
         """
         federation = self._federation
         obs_config = federation.config.observability
-        if not obs_config.enabled:
-            return self._execute()
-        if TRACER.enabled:
-            # A caller (run_study, or a user-held scope) already
-            # activated a collector — e.g. so that federation
-            # provisioning and leader election are part of the trace.
-            # Join it instead of nesting a second one.
-            collector = TRACER.collector
-            result = self._traced_execute()
-        else:
-            collector = SpanCollector(max_spans=obs_config.max_spans)
-            with TRACER.activated(
-                collector, capture_messages=obs_config.capture_messages
-            ):
+        try:
+            if not obs_config.enabled:
+                return self._execute()
+            if TRACER.enabled:
+                # A caller (run_study, or a user-held scope) already
+                # activated a collector — e.g. so that federation
+                # provisioning and leader election are part of the trace.
+                # Join it instead of nesting a second one.
+                collector = TRACER.collector
                 result = self._traced_execute()
-        result.observability = self._build_report(result, collector)
-        return result
+            else:
+                collector = SpanCollector(max_spans=obs_config.max_spans)
+                with TRACER.activated(
+                    collector, capture_messages=obs_config.capture_messages
+                ):
+                    result = self._traced_execute()
+            result.observability = self._build_report(result, collector)
+            return result
+        finally:
+            self.close()
 
     def _traced_execute(self) -> StudyResult:
         federation = self._federation
@@ -137,6 +241,13 @@ class GenDPRProtocol:
         record_timings(registry, result.timings)
         record_network(registry, federation.network)
         record_resources(registry, federation.resource_reports())
+        record_rounds(registry, self._accounting)
+        record_cache_stats(
+            registry,
+            federation.leader_host.enclave.ecall(
+                "lead_exchange_stats", label="report"
+            ),
+        )
         record_spans(registry, spans)
         return RunReport(
             study_id=result.study_id,
@@ -252,6 +363,8 @@ class GenDPRProtocol:
             },
             release_power=float(leader.ecall("lead_release_power", label="report")),
             collusion=collusion,
+            execution_mode=config.execution.mode,
+            ocall_rounds=dict(self._accounting.rounds_by_kind),
         )
 
     def release_statistics(self) -> Dict[str, object]:

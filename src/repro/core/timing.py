@@ -40,21 +40,64 @@ class RoundAccounting:
 
     sequential_seconds: float = 0.0
     parallel_seconds: float = 0.0
+    #: Wall-clock the round actually occupied in this process.  For a
+    #: sequential round that is the sum of member times (the loop runs
+    #: them back to back); a concurrent round passes its measured round
+    #: wall, which is what the parallel correction must reconcile with.
+    measured_seconds: float = 0.0
     rounds: int = 0
+    #: Rounds executed via the concurrent fan-out engine.
+    concurrent_rounds: int = 0
+    #: Total member answers across all rounds (concurrency numerator).
+    member_answers: int = 0
+    rounds_by_kind: Dict[str, int] = field(default_factory=dict)
 
-    def record_round(self, member_seconds: Dict[str, float]) -> None:
-        """Record one round's per-member compute durations."""
+    def record_round(
+        self,
+        member_seconds: Dict[str, float],
+        *,
+        kind: str = "",
+        wall_seconds: float | None = None,
+        concurrent: bool = False,
+    ) -> None:
+        """Record one round's per-member compute durations.
+
+        ``wall_seconds`` is the wall-clock the round occupied (defaults
+        to the sum of member times, i.e. sequential execution);
+        ``kind`` tags the round with its request tag for per-phase round
+        counting; ``concurrent`` marks rounds run by the fan-out engine.
+        """
         if not member_seconds:
             return
         values = list(member_seconds.values())
         self.sequential_seconds += sum(values)
         self.parallel_seconds += max(values)
+        self.measured_seconds += (
+            sum(values) if wall_seconds is None else max(wall_seconds, 0.0)
+        )
         self.rounds += 1
+        self.member_answers += len(values)
+        if concurrent:
+            self.concurrent_rounds += 1
+        if kind:
+            self.rounds_by_kind[kind] = self.rounds_by_kind.get(kind, 0) + 1
 
     @property
     def parallel_saving(self) -> float:
-        """Seconds the parallel model removes from the sequential trace."""
-        return self.sequential_seconds - self.parallel_seconds
+        """Seconds the parallel model removes from the measured trace.
+
+        With sequential execution this is the classic sum-minus-max
+        correction; with the concurrent engine the measured round walls
+        already overlap member work, so the remaining correction is only
+        the gap between the real wall and the ideal ``max`` model
+        (thread scheduling overhead, GIL contention).
+        """
+        return self.measured_seconds - self.parallel_seconds
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Mean member answers per round (ideal fan-out width)."""
+        return self.member_answers / self.rounds if self.rounds else 0.0
 
 
 @dataclass

@@ -22,42 +22,78 @@ the small control messages and key wrapping.
 from __future__ import annotations
 
 import hashlib
+import threading
 
 import numpy as np
 
 NONCE_SIZE = 16
 
+_ZERO_COUNTER = np.zeros(4, dtype=np.uint64)
+
 
 class StreamCipher:
-    """SHA-256-keyed Philox counter-mode stream cipher (encrypt == decrypt)."""
+    """SHA-256-keyed Philox counter-mode stream cipher (encrypt == decrypt).
+
+    The key schedule is computed once per instance: the absorbed key's
+    SHA-256 state is kept as a reusable partial hash (per frame only the
+    nonce is absorbed into a copy), and one Philox bit generator plus
+    one ``Generator`` facade are re-keyed in place per frame instead of
+    being constructed from scratch.  Re-keying restores the exact state
+    a fresh ``Philox(key=...)`` would have, so the keystream is
+    bit-identical to the original per-frame construction.  Instances are
+    thread-safe; channel endpoints hold one cipher for their lifetime.
+    """
 
     def __init__(self, key: bytes):
         if len(key) < 16:
             raise ValueError("stream key must be at least 16 bytes")
         self._key = hashlib.sha256(b"repro.stream:" + key).digest()
+        #: Partial SHA-256 over the derived key; per frame a copy absorbs
+        #: the nonce, saving the key-prefix compression per frame.
+        self._hasher = hashlib.sha256(self._key)
+        self._bitgen = np.random.Philox()
+        self._generator_facade = np.random.Generator(self._bitgen)
+        self._state_template = self._bitgen.state
+        self._lock = threading.Lock()
 
-    def _generator(self, nonce: bytes) -> np.random.Generator:
+    def _validate_nonce(self, nonce: bytes) -> None:
         if len(nonce) != NONCE_SIZE:
             raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
-        seed_block = hashlib.sha256(self._key + nonce).digest()
-        words = np.frombuffer(seed_block, dtype=np.uint64)
+
+    def _generator(self, nonce: bytes) -> np.random.Generator:
+        """Re-key the cached generator for ``(key, nonce)``.
+
+        Caller must hold ``self._lock`` until the keystream is drawn.
+        """
+        self._validate_nonce(nonce)
+        hasher = self._hasher.copy()
+        hasher.update(nonce)
+        words = np.frombuffer(hasher.digest(), dtype=np.uint64)
         # Philox-4x64 takes a 128-bit key; fold the 256-bit block onto it
         # so every seed bit influences the keystream.
-        return np.random.Generator(np.random.Philox(key=words[:2] ^ words[2:]))
+        state = self._state_template
+        state["state"]["counter"] = _ZERO_COUNTER
+        state["state"]["key"] = words[:2] ^ words[2:]
+        state["buffer_pos"] = 4
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+        self._bitgen.state = state
+        return self._generator_facade
 
     def keystream(self, nonce: bytes, length: int) -> bytes:
         """Generate ``length`` keystream bytes for ``(key, nonce)``."""
         if length < 0:
             raise ValueError("length must be non-negative")
         if length == 0:
-            self._generator(nonce)  # still validates the nonce
+            self._validate_nonce(nonce)
             return b""
-        return self._generator(nonce).bytes(length)
+        with self._lock:
+            return self._generator(nonce).bytes(length)
 
     def process(self, nonce: bytes, data: bytes) -> bytes:
         """XOR ``data`` with the keystream (involution)."""
         if not data:
-            self._generator(nonce)  # validate nonce for parity with keystream
+            self._validate_nonce(nonce)
             return b""
         stream = self.keystream(nonce, len(data))
         data_arr = np.frombuffer(data, dtype=np.uint8)

@@ -13,10 +13,17 @@ Federation members run on one machine in this reproduction, so the
 
 Delivery is reliable and ordered per link, matching the TLS-like
 transport an SGX deployment would use between sites.
+
+The router is thread-safe: the parallel execution engine
+(:mod:`repro.core.protocol`) sends and receives from worker threads
+concurrently.  Each inbox has its own lock (senders to different
+receivers never contend) and link/clock accounting updates atomically
+under a shared stats lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict, deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
@@ -32,19 +39,25 @@ class SimulatedNetwork:
     def __init__(self, profile: Optional[NetworkProfile] = None):
         self._profile = profile or NetworkProfile()
         self._inboxes: Dict[str, Deque[Envelope]] = {}
+        self._inbox_locks: Dict[str, threading.Lock] = {}
         self._links: Dict[Tuple[str, str], LinkStats] = defaultdict(LinkStats)
         self._partitioned: set[str] = set()
         self._simulated_time = 0.0
+        #: Guards topology (registration/partitions) and the link/clock
+        #: accounting; per-inbox delivery uses the per-node locks.
+        self._stats_lock = threading.Lock()
 
     # -- Topology ---------------------------------------------------------------
 
     def register(self, node_id: str) -> None:
-        """Attach a node; idempotent registration is an error (typo guard)."""
+        """Attach a node; duplicate registration is an error (typo guard)."""
         if not node_id:
             raise NetworkError("node_id must be non-empty")
-        if node_id in self._inboxes:
-            raise NetworkError(f"node {node_id!r} already registered")
-        self._inboxes[node_id] = deque()
+        with self._stats_lock:
+            if node_id in self._inboxes:
+                raise NetworkError(f"node {node_id!r} already registered")
+            self._inboxes[node_id] = deque()
+            self._inbox_locks[node_id] = threading.Lock()
 
     def nodes(self) -> List[str]:
         return sorted(self._inboxes)
@@ -52,11 +65,13 @@ class SimulatedNetwork:
     def partition(self, node_id: str) -> None:
         """Cut a node off: its sends and receives start failing."""
         self._require_known(node_id)
-        self._partitioned.add(node_id)
+        with self._stats_lock:
+            self._partitioned.add(node_id)
 
     def heal(self, node_id: str) -> None:
         """Reconnect a previously partitioned node."""
-        self._partitioned.discard(node_id)
+        with self._stats_lock:
+            self._partitioned.discard(node_id)
 
     def _require_known(self, node_id: str) -> None:
         if node_id not in self._inboxes:
@@ -75,11 +90,14 @@ class SimulatedNetwork:
         self._require_connected(envelope.receiver)
         if envelope.sender == envelope.receiver:
             raise NetworkError("a node cannot message itself over the network")
-        self._links[(envelope.sender, envelope.receiver)].record(envelope)
         wire_bytes = envelope.size()
         advance = self._profile.transfer_time(wire_bytes)
-        self._simulated_time += advance
-        self._inboxes[envelope.receiver].append(envelope)
+        with self._stats_lock:
+            self._links[(envelope.sender, envelope.receiver)].record(envelope)
+            self._simulated_time += advance
+            sim_time = self._simulated_time
+        with self._inbox_locks[envelope.receiver]:
+            self._inboxes[envelope.receiver].append(envelope)
         if TRACER.enabled and TRACER.capture_messages:
             TRACER.event(
                 "net.send",
@@ -88,7 +106,7 @@ class SimulatedNetwork:
                 tag=envelope.tag,
                 wire_bytes=wire_bytes,
                 clock_advance_s=advance,
-                sim_time_s=self._simulated_time,
+                sim_time_s=sim_time,
             )
 
     def broadcast(
@@ -113,17 +131,18 @@ class SimulatedNetwork:
         still sees the queue as it was.
         """
         self._require_connected(node_id)
-        inbox = self._inboxes[node_id]
-        if not inbox:
-            raise NetworkError(f"inbox of {node_id!r} is empty")
-        envelope = inbox[0]
-        if tag is not None and envelope.tag != tag:
-            pending = [e.tag for e in inbox]
-            raise NetworkError(
-                f"{node_id!r} expected tag {tag!r}, got {envelope.tag!r} "
-                f"(pending tags: {pending})"
-            )
-        inbox.popleft()
+        with self._inbox_locks[node_id]:
+            inbox = self._inboxes[node_id]
+            if not inbox:
+                raise NetworkError(f"inbox of {node_id!r} is empty")
+            envelope = inbox[0]
+            if tag is not None and envelope.tag != tag:
+                pending = [e.tag for e in inbox]
+                raise NetworkError(
+                    f"{node_id!r} expected tag {tag!r}, got {envelope.tag!r} "
+                    f"(pending tags: {pending})"
+                )
+            inbox.popleft()
         if TRACER.enabled and TRACER.capture_messages:
             TRACER.event(
                 "net.recv",
@@ -140,35 +159,43 @@ class SimulatedNetwork:
 
     def pending(self, node_id: str) -> int:
         self._require_known(node_id)
-        return len(self._inboxes[node_id])
+        with self._inbox_locks[node_id]:
+            return len(self._inboxes[node_id])
 
     # -- Accounting ----------------------------------------------------------------
 
     @property
     def simulated_time(self) -> float:
         """Seconds of simulated transfer time accumulated so far."""
-        return self._simulated_time
+        with self._stats_lock:
+            return self._simulated_time
 
     def link_stats(self, sender: str, receiver: str) -> LinkStats:
-        return self._links[(sender, receiver)]
+        with self._stats_lock:
+            return self._links[(sender, receiver)]
 
     def links(self) -> Dict[Tuple[str, str], LinkStats]:
         """Per-link stats for every link that carried traffic."""
-        return {
-            link: stats for link, stats in self._links.items() if stats.messages
-        }
+        with self._stats_lock:
+            return {
+                link: stats
+                for link, stats in self._links.items()
+                if stats.messages
+            }
 
     def total_stats(self) -> LinkStats:
         """Aggregate traffic across every link."""
         total = LinkStats()
-        for stats in self._links.values():
-            total.merge(stats)
+        with self._stats_lock:
+            for stats in self._links.values():
+                total.merge(stats)
         return total
 
     def traffic_matrix(self) -> Dict[Tuple[str, str], int]:
         """Wire bytes per ordered (sender, receiver) pair."""
-        return {
-            link: stats.wire_bytes
-            for link, stats in sorted(self._links.items())
-            if stats.messages
-        }
+        with self._stats_lock:
+            return {
+                link: stats.wire_bytes
+                for link, stats in sorted(self._links.items())
+                if stats.messages
+            }

@@ -74,8 +74,12 @@ def _encode_into(value: Any, out: list, depth: int) -> None:
             + _encode_length(len(shape))
             + b"".join(_encode_length(dim) for dim in shape)
         )
-        raw = contiguous.tobytes()
-        out.append(_TAG_ARRAY + header + _encode_length(len(raw)) + raw)
+        out.append(_TAG_ARRAY + header + _encode_length(contiguous.nbytes))
+        if contiguous.nbytes:
+            # A memoryview over the array's buffer: ``bytes.join`` reads
+            # it directly, so the payload is copied once (into the final
+            # frame) instead of twice via an intermediate ``tobytes()``.
+            out.append(memoryview(contiguous).cast("B"))
     elif isinstance(value, (list, tuple)):
         tag = _TAG_LIST if isinstance(value, list) else _TAG_TUPLE
         out.append(tag + _encode_length(len(value)))
@@ -115,6 +119,14 @@ class _Reader:
         self._pos += count
         return chunk
 
+    def take_array(self, dtype: np.dtype, count: int, nbytes: int) -> np.ndarray:
+        """A zero-copy (read-only) array view over the next ``nbytes``."""
+        if self._pos + nbytes > len(self._data):
+            raise SerializationError("truncated payload")
+        array = np.frombuffer(self._data, dtype=dtype, count=count, offset=self._pos)
+        self._pos += nbytes
+        return array
+
     def length(self) -> int:
         return struct.unpack(">Q", self.take(8))[0]
 
@@ -147,15 +159,17 @@ def _decode_from(reader: _Reader, depth: int) -> Any:
         if ndim > 32:
             raise SerializationError("array has too many dimensions")
         shape = tuple(reader.length() for _ in range(ndim))
-        raw = reader.take(reader.length())
+        nbytes = reader.length()
         try:
-            array = np.frombuffer(raw, dtype=np.dtype(dtype_name))
+            dtype = np.dtype(dtype_name)
         except (TypeError, ValueError) as exc:
             raise SerializationError(f"bad array dtype {dtype_name!r}") from exc
         expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        if array.size != expected:
+        if dtype.itemsize == 0 or nbytes != expected * dtype.itemsize:
             raise SerializationError("array payload size does not match shape")
-        return array.reshape(shape).copy()
+        # Zero-copy fast path: the array is a read-only view over the
+        # input buffer (numpy handles unaligned offsets transparently).
+        return reader.take_array(dtype, expected, nbytes).reshape(shape)
     if tag in (_TAG_LIST, _TAG_TUPLE):
         count = reader.length()
         items = [_decode_from(reader, depth + 1) for _ in range(count)]
@@ -178,6 +192,9 @@ def decode(data: bytes) -> Any:
     Any malformed input — including adversarial bytes that were never
     produced by :func:`encode` — raises :class:`SerializationError`;
     no other exception type escapes.
+
+    Decoded numpy arrays are **read-only views** over ``data`` (no copy
+    on the hot path); callers that need to mutate one must copy it.
     """
     reader = _Reader(data)
     try:

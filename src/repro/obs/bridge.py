@@ -79,6 +79,43 @@ def record_resources(registry: MetricsRegistry, reports: Dict[str, object]) -> N
     registry.counter("tee.ecalls").inc(total_ecalls)
 
 
+def record_rounds(registry: MetricsRegistry, accounting) -> None:
+    """Feed :class:`~repro.core.timing.RoundAccounting` into round metrics.
+
+    ``protocol.ocall_rounds.<kind>`` counts request/response rounds per
+    OCALL kind (the batched LR protocol shows up here as a single ``lr``
+    round per study); ``protocol.round_concurrency`` is the mean member
+    fan-out per round, and ``protocol.parallel_saving_s`` the seconds
+    the parallel-federation clock model removed from the measured trace.
+    """
+    registry.counter("protocol.ocall_rounds").inc(accounting.rounds)
+    for kind, count in sorted(accounting.rounds_by_kind.items()):
+        registry.counter(f"protocol.ocall_rounds.{metric_slug(kind)}").inc(count)
+    registry.counter("protocol.concurrent_rounds").inc(
+        accounting.concurrent_rounds
+    )
+    registry.gauge("protocol.round_concurrency").set(accounting.mean_concurrency)
+    registry.gauge("protocol.parallel_saving_s").set(accounting.parallel_saving)
+    registry.gauge("protocol.round_member_s").set(accounting.parallel_seconds)
+
+
+def record_cache_stats(registry: MetricsRegistry, stats: Dict[str, int]) -> None:
+    """Feed the leader enclave's LD moment-cache counters into gauges.
+
+    The hit rate is the fraction of pair-moment lookups served from the
+    cache instead of a member exchange round; the batched window
+    prefetch drives this up by fetching each pair at most once.
+    """
+    requested = int(stats.get("ld_pairs_requested", 0))
+    fetched = int(stats.get("ld_pairs_fetched", 0))
+    registry.counter("enclave.ld_pairs_requested").inc(requested)
+    registry.counter("enclave.ld_pairs_fetched").inc(fetched)
+    # Speculative prefetch can fetch pairs the walk never looks up, so
+    # clamp at zero rather than report a negative rate.
+    hit_rate = max(0.0, 1.0 - fetched / requested) if requested else 0.0
+    registry.gauge("enclave.moment_cache_hit_rate").set(hit_rate)
+
+
 def record_spans(registry: MetricsRegistry, spans: Iterable[Span]) -> None:
     """Aggregate span-level detail the accounting objects cannot provide.
 

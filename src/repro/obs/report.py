@@ -24,8 +24,10 @@ from .span import Span
 SCHEMA_VERSION = 1
 
 #: Config fields that do not affect study *outcomes* and are excluded
-#: from the fingerprint, so traced and untraced runs of one study match.
-FINGERPRINT_EXCLUDED_FIELDS = ("observability",)
+#: from the fingerprint, so traced and untraced runs of one study match —
+#: as do sequential and parallel executions, whose outcome equivalence
+#: the test suite enforces.
+FINGERPRINT_EXCLUDED_FIELDS = ("observability", "execution")
 
 
 def config_fingerprint(config: Any) -> str:

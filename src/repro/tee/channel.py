@@ -108,6 +108,11 @@ class ChannelEndpoint:
         self._send_seq = 0
         self._recv_seq = 0
         self._closed = False
+        # Per-channel state reused across frames (the per-frame fast
+        # path): direction prefixes are fixed for the channel lifetime,
+        # and the AEAD above keeps its derived key schedule.
+        self._send_prefix = self._direction(local_id, peer_id) + b"\x00"
+        self._recv_prefix = self._direction(peer_id, local_id) + b"\x00"
 
     def _direction(self, sender: str, receiver: str) -> bytes:
         return f"dir:{sender}->{receiver}".encode("utf-8")
@@ -117,9 +122,7 @@ class ChannelEndpoint:
         if self._closed:
             raise ChannelError("channel is closed")
         header = self._send_seq.to_bytes(8, "big")
-        associated = (
-            self._direction(self.local_id, self.peer_id) + b"\x00" + kind + header
-        )
+        associated = self._send_prefix + kind + header
         self._send_seq += 1
         return header + self._aead.encrypt(payload, associated_data=associated)
 
@@ -135,9 +138,7 @@ class ChannelEndpoint:
             raise ChannelError(
                 f"out-of-order frame: expected seq {self._recv_seq}, got {sequence}"
             )
-        associated = (
-            self._direction(self.peer_id, self.local_id) + b"\x00" + kind + header
-        )
+        associated = self._recv_prefix + kind + header
         try:
             payload = self._aead.decrypt(body, associated_data=associated)
         except AuthenticationError as exc:
