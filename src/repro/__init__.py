@@ -26,9 +26,11 @@ Subpackages: :mod:`repro.crypto`, :mod:`repro.tee`, :mod:`repro.net`,
 
 from .config import (
     CollusionPolicy,
+    FaultConfig,
     NetworkProfile,
     ObservabilityConfig,
     PrivacyThresholds,
+    ResilienceConfig,
     StudyConfig,
 )
 from .core import (
@@ -57,6 +59,8 @@ __version__ = "1.2.0"
 
 __all__ = [
     "CollusionPolicy",
+    "FaultConfig",
+    "ResilienceConfig",
     "NetworkProfile",
     "ObservabilityConfig",
     "PrivacyThresholds",

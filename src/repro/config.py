@@ -162,6 +162,151 @@ class ExecutionConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault injection for one run (``repro.faults``).
+
+    Disabled by default; while disabled the network and ECALL fast
+    paths pay a single ``is None`` check.  When enabled, every injected
+    event is a pure function of ``seed`` and deterministic per-link /
+    per-enclave counters, so a faulted run replays bit-for-bit from its
+    configuration alone (see ``docs/RESILIENCE.md``).
+
+    Attributes:
+        enabled: master switch for injection.
+        seed: drives the per-message fault draws (via
+            :class:`~repro.crypto.rng.DeterministicRng`).
+        drop_rate: probability a sent envelope is silently discarded.
+        duplicate_rate: probability an envelope is delivered twice.
+        delay_rate: probability an envelope is held back until the
+            affected peer's next retry backoff releases it.
+        corrupt_rate: probability a *request* frame (leader → member)
+            is delivered with one byte flipped; replies are never
+            corrupted because the leader enclave opens them inside a
+            phase ECALL where transport-level retransmission cannot
+            intervene (the AEAD check still rejects such a frame).
+        crash_points: ``(enclave_id, ecall_index)`` pairs — tear the
+            enclave down immediately before its N-th ECALL dispatched
+            through the untrusted proxy (1-based).
+        partition_windows: ``(node_id, start_round, blocked_ops)``
+            triples — from OCALL round ``start_round`` (1-based), the
+            next ``blocked_ops`` network operations touching the node
+            fail, then the partition heals.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    crash_points: Tuple[Tuple[str, int], ...] = ()
+    partition_windows: Tuple[Tuple[str, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            _require(0.0 <= rate <= 1.0, f"{name} must be in [0, 1]")
+        _require(
+            self.drop_rate
+            + self.duplicate_rate
+            + self.delay_rate
+            + self.corrupt_rate
+            <= 1.0,
+            "fault rates must sum to at most 1",
+        )
+        for enclave_id, index in self.crash_points:
+            _require(bool(enclave_id), "crash point needs an enclave id")
+            _require(index >= 1, "crash point ECALL index is 1-based")
+        for node_id, start_round, blocked_ops in self.partition_windows:
+            _require(bool(node_id), "partition window needs a node id")
+            _require(start_round >= 1, "partition start round is 1-based")
+            _require(blocked_ops >= 1, "partition must block at least one op")
+
+    @classmethod
+    def off(cls) -> "FaultConfig":
+        return cls()
+
+    @classmethod
+    def chaos(cls, seed: int, *, intensity: float = 0.2) -> "FaultConfig":
+        """A mixed drop/duplicate/delay/corrupt profile at ``intensity``.
+
+        ``intensity`` is the total fault probability per sent envelope,
+        split 2:1:1:1 across drop, duplicate, delay and corrupt.
+        """
+        _require(0.0 <= intensity <= 1.0, "intensity must be in [0, 1]")
+        share = intensity / 5.0
+        return cls(
+            enabled=True,
+            seed=seed,
+            drop_rate=2 * share,
+            duplicate_rate=share,
+            delay_rate=share,
+            corrupt_rate=share,
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Supervised-runtime knobs: retry, backoff, checkpoint failover.
+
+    Disabled by default, which preserves the historical fail-stop
+    behaviour (any fault raises out of the protocol).  Enabled, the
+    OCALL exchange retries transient per-member failures with
+    exponential backoff on the *simulated* clock, and
+    :class:`~repro.core.supervisor.ProtocolSupervisor` checkpoints the
+    leader after every phase and performs automated failover when the
+    leader enclave crashes.  Members that stay unresponsive past the
+    retry budget are evicted with a classified
+    :class:`~repro.errors.MemberUnresponsiveError` — the paper makes no
+    liveness guarantee for members, so this is an orderly abort, never
+    a hang or a wrong answer.
+
+    Attributes:
+        enabled: use the resilient exchange and the supervisor.
+        max_attempts: request attempts per member per round before the
+            member is declared unresponsive.
+        backoff_base_s: simulated seconds of backoff after the first
+            failed attempt.
+        backoff_factor: multiplier applied per further attempt.
+        max_failovers: leader replacements tolerated per study before a
+            :class:`~repro.errors.LeaderFailoverError` abort.
+    """
+
+    enabled: bool = False
+    max_attempts: int = 4
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_failovers: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.max_attempts >= 1, "max_attempts must be at least 1")
+        _require(self.backoff_base_s >= 0.0, "backoff_base_s must be >= 0")
+        _require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        _require(self.max_failovers >= 0, "max_failovers must be >= 0")
+
+    @classmethod
+    def off(cls) -> "ResilienceConfig":
+        return cls()
+
+    @classmethod
+    def supervised(
+        cls,
+        *,
+        max_attempts: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_failovers: int = 2,
+    ) -> "ResilienceConfig":
+        return cls(
+            enabled=True,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+            backoff_factor=backoff_factor,
+            max_failovers=max_failovers,
+        )
+
+
+@dataclass(frozen=True)
 class ObservabilityConfig:
     """Tracing/metrics switches of one run (see ``docs/OBSERVABILITY.md``).
 
@@ -223,6 +368,12 @@ class StudyConfig:
         execution: sequential vs parallel round execution; also excluded
             from the fingerprint — both modes yield bit-identical
             outcomes (enforced by tests).
+        faults: deterministic fault injection (off by default); excluded
+            from the fingerprint — a faulted run either completes
+            bit-identically or aborts with a classified error, it never
+            changes an outcome (enforced by the chaos suite).
+        resilience: retry/backoff/failover runtime knobs; excluded from
+            the fingerprint for the same reason.
     """
 
     snp_count: int
@@ -234,6 +385,8 @@ class StudyConfig:
         default_factory=ObservabilityConfig
     )
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         _require(self.snp_count > 0, "snp_count must be positive")

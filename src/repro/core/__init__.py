@@ -31,6 +31,8 @@ from .naive import NaiveResult, naive_traffic_bytes, run_naive_study
 from .phases import CollusionReport, CombinationOutcome, StudyResult
 from .pipeline import PipelineOutcome, ld_prune, run_local_pipeline
 from .protocol import GenDPRProtocol, run_study
+from .resilience import FailureReport, ResilientExchange
+from .supervisor import ProtocolSupervisor
 from .release import GwasRelease, SnpStatistic, build_release, hybrid_release
 from .timing import (
     DATA_AGGREGATION,
@@ -69,6 +71,9 @@ __all__ = [
     "run_local_pipeline",
     "GenDPRProtocol",
     "run_study",
+    "FailureReport",
+    "ResilientExchange",
+    "ProtocolSupervisor",
     "GwasRelease",
     "SnpStatistic",
     "build_release",

@@ -1124,6 +1124,10 @@ class GenDPREnclave(Enclave):
             "combo_sizes": [
                 self._combo_sizes[c] for c in sorted(self._combo_counts)
             ],
+            "combo_safe": {
+                k: list(v) for k, v in sorted(self._combo_safe.items())
+            },
+            "release_power": float(self._release_power),
             "moment_keys": [list(k) for k in moment_keys],
             "moment_values": pack_moments(moment_keys, self._member_pair_moments),
             "local_keys": [list(k) for k in local_keys],
@@ -1180,6 +1184,13 @@ class GenDPREnclave(Enclave):
         self._combo_sizes = {
             c: int(s) for c, s in zip(state["combo_ids"], state["combo_sizes"])
         }
+        # Post-LR collusion outcomes: present only in checkpoints taken
+        # after the LR phase (``get`` keeps older blobs restorable).
+        self._combo_safe = {
+            k: tuple(int(s) for s in v)
+            for k, v in state.get("combo_safe", {}).items()
+        }
+        self._release_power = float(state.get("release_power", 0.0))
         self._ranking_cache = {}
 
         def unpack(keys, values, make_key):

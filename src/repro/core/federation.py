@@ -96,6 +96,13 @@ class Federation:
     enclaves: Dict[str, GenDPREnclave] = field(repr=False, default_factory=dict)
     platforms: Dict[str, Platform] = field(repr=False, default_factory=dict)
     handshake_bytes: int = 0
+    #: Dataset-authentication secret, retained so a replacement leader
+    #: enclave can be provisioned during failover (never logged).
+    data_auth_key: bytes = field(repr=False, default=b"")
+    #: Installed :class:`~repro.faults.FaultInjector` for chaos runs.
+    fault_injector: Optional[object] = field(repr=False, default=None)
+    #: Number of leader replacements performed so far.
+    failovers: int = 0
 
     @property
     def member_ids(self) -> List[str]:
@@ -110,6 +117,79 @@ class Federation:
             gdo_id: enclave.meter.report()
             for gdo_id, enclave in self.enclaves.items()
         }
+
+    def replace_leader_enclave(self) -> GenDPREnclave:
+        """Provision a replacement leader enclave after a crash.
+
+        Automates what ``tests/test_core_recovery.py`` choreographed by
+        hand: re-run the (deterministic) election to confirm leadership
+        stays with the same GDO — its platform alone can unseal the
+        sealed checkpoint and datasets — then start a fresh enclave on
+        that platform, mutually re-attest a channel with every member,
+        and swap the new guarded proxy into the leader host.  The caller
+        (the protocol supervisor) restores state from the latest sealed
+        checkpoint afterwards.
+        """
+        re_elected = elect_leader(
+            self.member_ids, self.config.seed, self.config.study_id
+        )
+        if re_elected != self.leader_id:
+            raise ProtocolError(
+                f"re-election chose {re_elected!r}, expected {self.leader_id!r}"
+            )
+        self.failovers += 1
+        rng = DeterministicRng(
+            f"federation/{self.config.study_id}/{self.config.seed}"
+            f"/failover/{self.failovers}"
+        )
+        replacement = GenDPREnclave(
+            platform_key=self.platforms[self.leader_id].root_key,
+            enclave_id=self.leader_id,
+            data_auth_key=self.data_auth_key,
+            rng=rng.fork("enclave"),
+        )
+        replacement.ecall(
+            "configure", _study_params(self.config, self.member_ids, self.leader_id),
+            label="failover",
+        )
+        verifier = self.attestation.verifier()
+        for member_id in self.member_ids:
+            if member_id == self.leader_id:
+                continue
+            leader_end, member_end, hs_bytes = establish_channel(
+                replacement,
+                self.platforms[self.leader_id],
+                self.enclaves[member_id],
+                self.platforms[member_id],
+                verifier,
+                rng=rng.fork(f"channel/{member_id}"),
+            )
+            replacement.install_channel(leader_end)
+            self.enclaves[member_id].install_channel(member_end)
+            self.handshake_bytes += hs_bytes
+        self.enclaves[self.leader_id] = replacement
+        interceptor = (
+            self.fault_injector.on_ecall if self.fault_injector is not None else None
+        )
+        self.hosts[self.leader_id].enclave = guarded(replacement, interceptor)
+        return replacement
+
+
+def _study_params(
+    config: StudyConfig, member_ids: List[str], leader_id: str
+) -> Dict[str, object]:
+    """The agreed study parameters every enclave is configured with."""
+    return {
+        "study_id": config.study_id,
+        "snp_count": config.snp_count,
+        "maf_cutoff": config.thresholds.maf_cutoff,
+        "ld_cutoff": config.thresholds.ld_cutoff,
+        "alpha": config.thresholds.false_positive_rate,
+        "beta": config.thresholds.power_threshold,
+        "member_ids": list(member_ids),
+        "leader_id": leader_id,
+        "f_values": list(config.collusion.f_values),
+    }
 
 
 def build_federation(
@@ -145,6 +225,18 @@ def build_federation(
 
     leader_id = elect_leader(member_ids, config.seed, config.study_id)
 
+    fault_injector = None
+    ecall_interceptor = None
+    if config.faults.enabled:
+        # Local import keeps repro.faults optional on the default path.
+        from ..faults import FaultInjector, FaultPlan
+
+        fault_injector = FaultInjector(
+            FaultPlan.from_config(config.faults), leader_id=leader_id
+        )
+        network.install_fault_injector(fault_injector)
+        ecall_interceptor = fault_injector.on_ecall
+
     enclaves: Dict[str, GenDPREnclave] = {}
     platforms: Dict[str, Platform] = {}
     hosts: Dict[str, GdoHost] = {}
@@ -160,7 +252,9 @@ def build_federation(
         enclaves[dataset.gdo_id] = enclave
         platforms[dataset.gdo_id] = platform
         hosts[dataset.gdo_id] = GdoHost(
-            gdo_id=dataset.gdo_id, enclave=guarded(enclave), network=network
+            gdo_id=dataset.gdo_id,
+            enclave=guarded(enclave, ecall_interceptor),
+            network=network,
         )
 
     # Mutual attestation: the leader enclave pairs with every member.
@@ -182,17 +276,7 @@ def build_federation(
         handshake_bytes += hs_bytes
 
     # Configure every enclave with the agreed study parameters.
-    params = {
-        "study_id": config.study_id,
-        "snp_count": config.snp_count,
-        "maf_cutoff": config.thresholds.maf_cutoff,
-        "ld_cutoff": config.thresholds.ld_cutoff,
-        "alpha": config.thresholds.false_positive_rate,
-        "beta": config.thresholds.power_threshold,
-        "member_ids": member_ids,
-        "leader_id": leader_id,
-        "f_values": list(config.collusion.f_values),
-    }
+    params = _study_params(config, member_ids, leader_id)
     for enclave in enclaves.values():
         enclave.ecall("configure", params, label="setup")
 
@@ -221,4 +305,6 @@ def build_federation(
         enclaves=enclaves,
         platforms=platforms,
         handshake_bytes=handshake_bytes,
+        data_auth_key=data_auth_key,
+        fault_injector=fault_injector,
     )

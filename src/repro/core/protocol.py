@@ -25,7 +25,9 @@ from ..net import Envelope, SimulatedNetwork
 from ..obs import MetricsRegistry, RunReport, SpanCollector, config_fingerprint
 from ..obs.bridge import (
     record_cache_stats,
+    record_faults,
     record_network,
+    record_resilience,
     record_resources,
     record_rounds,
     record_spans,
@@ -52,6 +54,19 @@ class GenDPRProtocol:
         self._federation = federation
         self._accounting = RoundAccounting()
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: Phase outputs (l_prime / l_double_prime / l_safe); repopulated
+        #: deterministically if the supervisor re-runs a phase.
+        self._outputs: Dict[str, list] = {}
+        #: Stats registered by a supervising ProtocolSupervisor, if any.
+        self._supervision: Optional[Dict[str, object]] = None
+        self._resilient = None
+        if federation.config.resilience.enabled:
+            from .resilience import ResilientExchange
+
+            self._resilient = ResilientExchange(self)
+            self._exchange = self._resilient
+        else:
+            self._exchange = self._ocall_exchange
 
     @property
     def federation(self) -> Federation:
@@ -72,6 +87,12 @@ class GenDPRProtocol:
         """
         if self._federation.leader_id in frames:
             raise ProtocolError("leader cannot ocall itself")
+        injector = self._federation.fault_injector
+        if injector is not None:
+            # Advance the fault plan's round counter even on the plain
+            # path, so partition windows fire identically whether or not
+            # the resilient exchange is in front of them.
+            injector.begin_round(kind)
         execution = self._federation.config.execution
         if execution.is_parallel and len(frames) > 1:
             return self._exchange_parallel(kind, frames)
@@ -202,7 +223,7 @@ class GenDPRProtocol:
         obs_config = federation.config.observability
         try:
             if not obs_config.enabled:
-                return self._execute()
+                return self._execute_study()
             if TRACER.enabled:
                 # A caller (run_study, or a user-held scope) already
                 # activated a collector — e.g. so that federation
@@ -229,7 +250,7 @@ class GenDPRProtocol:
             leader=federation.leader_id,
             members=len(federation.hosts),
         ):
-            return self._execute()
+            return self._execute_study()
 
     def _build_report(
         self, result: StudyResult, collector: SpanCollector
@@ -248,6 +269,12 @@ class GenDPRProtocol:
                 "lead_exchange_stats", label="report"
             ),
         )
+        if federation.fault_injector is not None:
+            record_faults(registry, federation.fault_injector.counters())
+        if self._resilient is not None:
+            record_resilience(
+                registry, self._resilient.stats(), self._supervision
+            )
         record_spans(registry, spans)
         return RunReport(
             study_id=result.study_id,
@@ -263,63 +290,97 @@ class GenDPRProtocol:
             },
         )
 
+    def _execute_study(self) -> StudyResult:
+        """Dispatch to plain or supervised execution per the config."""
+        if self._federation.config.resilience.enabled:
+            from .supervisor import ProtocolSupervisor
+
+            return ProtocolSupervisor(self).run()
+        return self._execute()
+
     def _execute(self) -> StudyResult:
         """Execute the three verification phases and build the result."""
-        federation = self._federation
-        config = federation.config
-        leader_host = federation.leader_host
-        leader = leader_host.enclave
-        store = leader_host.store
-        ref_store = leader_host.reference_store
-        if store is None or ref_store is None:
-            raise ProtocolError("leader is missing its sealed datasets")
-
         timings = PhaseTimings()
         clock = PhaseClock(timings)
-        accounting = self._accounting
+        for _name, step in self.phase_steps():
+            step(clock)
+        return self._build_result(timings)
 
-        with clock.task(DATA_AGGREGATION, accounting):
-            leader.ecall(
+    # -- phase steps -------------------------------------------------------------
+    #
+    # One study = these steps in order.  They are separate (and look up
+    # the leader host through the federation on every call) so the
+    # protocol supervisor can checkpoint between steps and re-run the
+    # interrupted one against a replacement leader enclave after a
+    # failover.  Outputs land in ``self._outputs``; re-running a step is
+    # deterministic, so a re-run overwrites them with identical values.
+
+    def phase_steps(self):
+        """Ordered (name, callable(clock)) steps of one study."""
+        return (
+            ("summaries", self._phase_summaries),
+            ("maf", self._phase_maf),
+            ("ld", self._phase_ld),
+            ("lr", self._phase_lr),
+        )
+
+    def _leader_stores(self):
+        leader_host = self._federation.leader_host
+        if leader_host.store is None or leader_host.reference_store is None:
+            raise ProtocolError("leader is missing its sealed datasets")
+        return leader_host.store, leader_host.reference_store
+
+    def _phase_summaries(self, clock: PhaseClock) -> None:
+        store, ref_store = self._leader_stores()
+        with clock.task(DATA_AGGREGATION, self._accounting):
+            self._federation.leader_host.enclave.ecall(
                 "lead_collect_summaries",
                 store,
                 ref_store,
-                self._ocall_exchange,
+                self._exchange,
                 label="summaries",
             )
 
-        with clock.task(INDEXING, accounting):
-            l_prime = leader.ecall("lead_run_maf", label="maf")
+    def _phase_maf(self, clock: PhaseClock) -> None:
+        leader = self._federation.leader_host.enclave
+        with clock.task(INDEXING, self._accounting):
+            self._outputs["l_prime"] = leader.ecall("lead_run_maf", label="maf")
             leader.ecall(
-                "lead_broadcast_retained", "prime", self._ocall_exchange,
+                "lead_broadcast_retained", "prime", self._exchange,
                 label="broadcast",
             )
 
-        with clock.task(LD_ANALYSIS, accounting):
-            l_double_prime = leader.ecall(
-                "lead_run_ld", store, ref_store, self._ocall_exchange, label="ld"
+    def _phase_ld(self, clock: PhaseClock) -> None:
+        store, ref_store = self._leader_stores()
+        leader = self._federation.leader_host.enclave
+        with clock.task(LD_ANALYSIS, self._accounting):
+            self._outputs["l_double_prime"] = leader.ecall(
+                "lead_run_ld", store, ref_store, self._exchange, label="ld"
             )
             leader.ecall(
-                "lead_broadcast_retained", "double_prime", self._ocall_exchange,
+                "lead_broadcast_retained", "double_prime", self._exchange,
                 label="broadcast",
             )
 
-        with clock.task(LR_ANALYSIS, accounting):
-            l_safe = leader.ecall(
-                "lead_run_lr", store, ref_store, self._ocall_exchange, label="lr"
+    def _phase_lr(self, clock: PhaseClock) -> None:
+        store, ref_store = self._leader_stores()
+        leader = self._federation.leader_host.enclave
+        with clock.task(LR_ANALYSIS, self._accounting):
+            self._outputs["l_safe"] = leader.ecall(
+                "lead_run_lr", store, ref_store, self._exchange, label="lr"
             )
             leader.ecall(
-                "lead_broadcast_retained", "safe", self._ocall_exchange,
+                "lead_broadcast_retained", "safe", self._exchange,
                 label="broadcast",
             )
 
-        return self._build_result(timings, l_prime, l_double_prime, l_safe)
-
-    def _build_result(
-        self, timings, l_prime, l_double_prime, l_safe
-    ) -> StudyResult:
+    def _build_result(self, timings) -> StudyResult:
         federation = self._federation
         config = federation.config
         leader = federation.leader_host.enclave
+        l_prime = self._outputs["l_prime"]
+        l_double_prime = self._outputs["l_double_prime"]
+        l_safe = self._outputs["l_safe"]
 
         collusion: Optional[CollusionReport] = None
         if config.collusion.enabled:

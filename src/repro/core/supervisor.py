@@ -1,0 +1,144 @@
+"""Supervised study execution: checkpoint, crash detection, failover.
+
+:class:`ProtocolSupervisor` wraps one :class:`~repro.core.protocol.
+GenDPRProtocol` and automates the leader-recovery choreography that
+``tests/test_core_recovery.py`` performs by hand:
+
+1. after federation provisioning it seals an initial leader checkpoint,
+   and after every completed phase a fresh one;
+2. a leader-enclave crash (:class:`~repro.errors.EnclaveCrashedError`
+   out of a phase ECALL or a checkpoint) is detected, the network is
+   flushed of in-flight stragglers, a replacement leader enclave is
+   provisioned on the same platform (deterministic re-election keeps
+   leadership with the same GDO — see
+   :meth:`~repro.core.federation.Federation.replace_leader_enclave`),
+   channels are mutually re-attested, the latest sealed checkpoint is
+   restored, and the interrupted phase is re-run;
+3. failovers past ``resilience.max_failovers`` abort with a classified
+   :class:`~repro.errors.LeaderFailoverError`.
+
+Phase re-runs are safe because each phase is deterministic given the
+checkpointed leader state: members recompute identical answers over
+fresh (re-attested) channels, and retained-list ingestion is
+idempotent.  A completed-then-crashed checkpoint simply re-runs its
+phase — same outcome, new checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import EnclaveCrashedError, LeaderFailoverError
+from ..obs.tracer import TRACER
+from .timing import PhaseClock, PhaseTimings
+
+
+class ProtocolSupervisor:
+    """Runs a protocol's phase steps under checkpoint/failover control."""
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+        self._federation = protocol.federation
+        self._policy = self._federation.config.resilience
+        self._checkpoint = None
+        self._events: List[Dict[str, object]] = []
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self):
+        """Execute every phase step, checkpointing and failing over.
+
+        Returns the :class:`~repro.core.phases.StudyResult`; mirrors
+        ``GenDPRProtocol._execute`` for the happy path.
+        """
+        protocol = self._protocol
+        timings = PhaseTimings()
+        clock = PhaseClock(timings)
+        steps = [("init", None)] + list(protocol.phase_steps())
+        for name, step in steps:
+            self._run_step(name, step, clock)
+        protocol._supervision = self.stats()
+        return protocol._build_result(timings)
+
+    def _run_step(self, name: str, step, clock: PhaseClock) -> None:
+        """Run one phase step to a sealed checkpoint, retrying on crash."""
+        leader_ecall = self._leader_ecall
+        need_restore = False
+        while True:
+            try:
+                if need_restore:
+                    self._failover(name)
+                    need_restore = False
+                if step is not None:
+                    step(clock)
+                self._checkpoint = leader_ecall(
+                    "checkpoint_state", label="checkpoint"
+                )
+                return
+            except EnclaveCrashedError:
+                if not self._federation.leader_host.enclave.crashed:
+                    # Member crashes are converted by the resilient
+                    # exchange before they get here; an unconverted
+                    # crash of a live leader is a real bug.
+                    raise
+                need_restore = True
+                self._events.append({"event": "leader_crash", "step": name})
+                if TRACER.enabled:
+                    TRACER.event("supervisor.leader_crash", step=name)
+
+    def _leader_ecall(self, name: str, *args, **kwargs):
+        # Resolved through the federation each call: after a failover
+        # the leader host carries a new guarded proxy.
+        return self._federation.leader_host.enclave.ecall(name, *args, **kwargs)
+
+    # -- failover ------------------------------------------------------------
+
+    def _failover(self, step: str) -> None:
+        federation = self._federation
+        if federation.failovers >= self._policy.max_failovers:
+            raise LeaderFailoverError(
+                f"leader of study {federation.config.study_id!r} crashed "
+                f"beyond the failover budget "
+                f"({self._policy.max_failovers}) during step {step!r}"
+            )
+        with TRACER.span("supervisor.failover", step=step):
+            # Drop everything still in flight from the aborted attempt:
+            # inbox stragglers would be junk-filtered anyway, but a
+            # clean slate keeps the re-run's traffic legible.
+            flushed = 0
+            for node_id in federation.network.nodes():
+                flushed += federation.network.flush(node_id)
+            if federation.fault_injector is not None:
+                flushed += federation.fault_injector.reset_in_flight()
+            federation.replace_leader_enclave()
+            if self._checkpoint is not None:
+                self._leader_ecall(
+                    "restore_state", self._checkpoint, label="failover"
+                )
+            self._events.append(
+                {
+                    "event": "failover",
+                    "step": step,
+                    "failover": federation.failovers,
+                    "flushed_messages": flushed,
+                    "restored": self._checkpoint is not None,
+                }
+            )
+            if TRACER.enabled:
+                TRACER.event(
+                    "supervisor.failover_complete",
+                    step=step,
+                    failover=federation.failovers,
+                    flushed_messages=flushed,
+                )
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "failovers": self._federation.failovers,
+            "crashes_handled": sum(
+                1 for e in self._events if e["event"] == "leader_crash"
+            ),
+            "events": [dict(e) for e in self._events],
+        }

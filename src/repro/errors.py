@@ -135,6 +135,44 @@ class MembershipLeakError(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Resilience / supervision
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ProtocolError):
+    """Base class for failures of the supervised protocol runtime.
+
+    These are *classified aborts*: the runtime detected a fault it is
+    not allowed to mask (per the paper's fault model) and terminated
+    the study in a well-defined state instead of hanging or producing
+    a divergent answer.
+    """
+
+
+class MemberUnresponsiveError(ResilienceError):
+    """A member stayed unreachable past the retry budget and was evicted.
+
+    GenDPR makes no liveness guarantee for non-responsive members
+    (Section 4): the study aborts with a structured failure report
+    (see the ``report`` attribute, a
+    :class:`~repro.core.resilience.FailureReport`) identifying the
+    member, the phase round and the attempts made.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class LeaderFailoverError(ResilienceError):
+    """Leader recovery was attempted but could not restore the study.
+
+    Raised when the leader enclave keeps crashing past the configured
+    failover budget, or when a replacement cannot be provisioned.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Observability
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Deterministic fault injection (:mod:`repro.faults`).
+
+Seeded, replayable fault schedules (:class:`FaultPlan`) and the
+runtime hook that applies them (:class:`FaultInjector`) to the
+simulated network and the enclave ECALL boundary.  Disabled by
+default; enabled per-study via :class:`repro.config.FaultConfig`.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    ACTIONS,
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    CrashPoint,
+    FaultPlan,
+    PartitionWindow,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CORRUPT",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultPlan",
+    "PartitionWindow",
+]

@@ -1,0 +1,303 @@
+"""The fault injector: applies a :class:`FaultPlan` to a live run.
+
+The injector sits behind two hooks, both disabled by default:
+
+* :meth:`SimulatedNetwork.install_fault_injector` routes every
+  ``send`` through :meth:`FaultInjector.on_send`, which may drop,
+  duplicate, delay or corrupt the envelope, or fail the operation for
+  a partition window.
+* :func:`repro.tee.enclave.guarded` accepts the injector's
+  :meth:`on_ecall` as an ECALL interceptor, which tears an enclave
+  down at a planned crash point.
+
+Every injected event is counted, appended to a bounded event log for
+the fault-injection report, and traced through :data:`repro.obs.TRACER`
+when observability is on.  All bookkeeping lives behind one lock; the
+decisions themselves are pure plan lookups, so worker threads cannot
+perturb the schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..net.message import Envelope
+from ..obs.tracer import TRACER
+from .plan import CORRUPT, DELAY, DROP, DUPLICATE, FaultPlan
+
+#: Cap on the per-run injected-event log (counters are never capped).
+_EVENT_LOG_LIMIT = 10_000
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a network and a set of enclaves."""
+
+    def __init__(self, plan: FaultPlan, *, leader_id: Optional[str] = None):
+        self._plan = plan
+        #: Corruption is only applied on the leader → member request leg
+        #: (see FaultConfig.corrupt_rate); a corrupt draw on a reply leg
+        #: degrades to a drop, modelling the transport integrity check
+        #: discarding the record.
+        self._leader_id = leader_id
+        self._network = None
+        self._lock = threading.Lock()
+        self._link_index: Dict[Tuple[str, str], int] = {}
+        self._ecall_index: Dict[str, int] = {}
+        self._consumed_crash_points: set = set()
+        self._round_index = 0
+        self._round_kind = ""
+        #: node_id -> send operations still to block (active partitions).
+        self._partition_budget: Dict[str, int] = {}
+        self._pending_delayed: List[Envelope] = []
+        self._counters: Dict[str, int] = {
+            "drops": 0,
+            "duplicates": 0,
+            "delays": 0,
+            "corruptions": 0,
+            "partition_blocks": 0,
+            "crashes": 0,
+            "released_delayed": 0,
+            "flushed_in_flight": 0,
+        }
+        self._events: List[Dict[str, object]] = []
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def attach(self, network) -> None:
+        """Bind to the network whose deliveries this injector mediates."""
+        self._network = network
+
+    def set_leader(self, leader_id: str) -> None:
+        self._leader_id = leader_id
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, action: str, counter: str, **attributes: object) -> None:
+        self._counters[counter] += 1
+        if len(self._events) < _EVENT_LOG_LIMIT:
+            self._events.append(
+                dict(attributes, action=action, round=self._round_index)
+            )
+        if TRACER.enabled:
+            TRACER.event(f"fault.{action}", round=self._round_index, **attributes)
+
+    # -- round lifecycle -------------------------------------------------------
+
+    def begin_round(self, kind: str) -> int:
+        """Advance the OCALL round counter; activate partition windows."""
+        with self._lock:
+            self._round_index += 1
+            self._round_kind = kind
+            for window in self._plan.partition_windows:
+                if window.start_round == self._round_index:
+                    budget = self._partition_budget.get(window.node_id, 0)
+                    self._partition_budget[window.node_id] = (
+                        budget + window.blocked_ops
+                    )
+                    self._record(
+                        "partition_begin",
+                        "partition_blocks",
+                        node=window.node_id,
+                        blocked_ops=window.blocked_ops,
+                    )
+                    # partition_begin is informational; the counter
+                    # tracks blocked operations, so undo the increment.
+                    self._counters["partition_blocks"] -= 1
+            return self._round_index
+
+    # -- network hook ----------------------------------------------------------
+
+    def on_send(self, envelope: Envelope) -> None:
+        """Mediate one delivery; called by ``SimulatedNetwork.send``.
+
+        Either delivers (one or two copies, possibly corrupted), holds
+        the envelope for a later :meth:`release_delayed`, silently
+        drops it, or raises :class:`NetworkError` for an active
+        partition window.
+        """
+        network = self._network
+        if network is None:
+            raise NetworkError("fault injector is not attached to a network")
+        link = (envelope.sender, envelope.receiver)
+        with self._lock:
+            index = self._link_index.get(link, 0) + 1
+            self._link_index[link] = index
+            blocked = self._partition_blocked(envelope)
+            if blocked:
+                self._record(
+                    "partition_block",
+                    "partition_blocks",
+                    node=blocked,
+                    sender=envelope.sender,
+                    receiver=envelope.receiver,
+                    tag=envelope.tag,
+                )
+        if blocked:
+            raise NetworkError(
+                f"node {blocked!r} is partitioned (fault window)"
+            )
+        action = self._plan.action_for(envelope.sender, envelope.receiver, index)
+        if action == CORRUPT and (
+            self._leader_id is not None and envelope.sender != self._leader_id
+        ):
+            action = DROP
+        if action is None:
+            network._deliver(envelope)
+            return
+        context = {
+            "sender": envelope.sender,
+            "receiver": envelope.receiver,
+            "tag": envelope.tag,
+            "link_index": index,
+        }
+        if action == DROP:
+            with self._lock:
+                self._record("drop", "drops", **context)
+        elif action == DUPLICATE:
+            network._deliver(envelope)
+            network._deliver(
+                Envelope(
+                    sender=envelope.sender,
+                    receiver=envelope.receiver,
+                    tag=envelope.tag,
+                    body=envelope.body,
+                )
+            )
+            with self._lock:
+                self._record("duplicate", "duplicates", **context)
+        elif action == DELAY:
+            with self._lock:
+                self._pending_delayed.append(envelope)
+                self._record("delay", "delays", **context)
+        elif action == CORRUPT:
+            offset = self._plan.corrupt_offset(
+                envelope.sender, envelope.receiver, index, len(envelope.body)
+            )
+            corrupted = bytearray(envelope.body)
+            if corrupted:
+                corrupted[offset] ^= 0x80
+            network._deliver(
+                Envelope(
+                    sender=envelope.sender,
+                    receiver=envelope.receiver,
+                    tag=envelope.tag,
+                    body=bytes(corrupted),
+                )
+            )
+            with self._lock:
+                self._record("corrupt", "corruptions", offset=offset, **context)
+
+    def _partition_blocked(self, envelope: Envelope) -> Optional[str]:
+        """The partitioned endpoint blocking this send, if any (locked)."""
+        for node in (envelope.sender, envelope.receiver):
+            budget = self._partition_budget.get(node, 0)
+            if budget > 0:
+                self._partition_budget[node] = budget - 1
+                return node
+        return None
+
+    def release_delayed(self, node_id: str) -> int:
+        """Deliver held envelopes involving ``node_id`` (backoff tick).
+
+        Models the delayed frames finally arriving once the retrying
+        peer has waited out its timeout.  Returns the number released.
+        """
+        network = self._network
+        with self._lock:
+            due = [
+                e
+                for e in self._pending_delayed
+                if node_id in (e.sender, e.receiver)
+            ]
+            if not due:
+                return 0
+            self._pending_delayed = [
+                e for e in self._pending_delayed if e not in due
+            ]
+            self._counters["released_delayed"] += len(due)
+        for envelope in due:
+            network._deliver(envelope)
+            if TRACER.enabled:
+                TRACER.event(
+                    "fault.release_delayed",
+                    sender=envelope.sender,
+                    receiver=envelope.receiver,
+                    tag=envelope.tag,
+                )
+        return len(due)
+
+    def reset_in_flight(self) -> int:
+        """Discard held envelopes (failover flush); returns the count."""
+        with self._lock:
+            flushed = len(self._pending_delayed)
+            self._pending_delayed = []
+            self._counters["flushed_in_flight"] += flushed
+        return flushed
+
+    # -- enclave hook ----------------------------------------------------------
+
+    def on_ecall(self, enclave, name: str) -> None:
+        """ECALL interceptor: crash the enclave at a planned crash point.
+
+        The crash happens *before* the dispatch, so the intercepted
+        ECALL itself raises :class:`EnclaveCrashedError` — the host
+        observes a mid-operation enclave loss, exactly the paper's
+        leader-crash scenario.
+        """
+        with self._lock:
+            index = self._ecall_index.get(enclave.enclave_id, 0) + 1
+            self._ecall_index[enclave.enclave_id] = index
+            crash = None
+            for point in self._plan.crash_points:
+                if (
+                    point.enclave_id == enclave.enclave_id
+                    and point.ecall_index == index
+                    and point not in self._consumed_crash_points
+                ):
+                    crash = point
+                    break
+            if crash is not None:
+                self._consumed_crash_points.add(crash)
+                self._record(
+                    "crash",
+                    "crashes",
+                    enclave=enclave.enclave_id,
+                    ecall=name,
+                    ecall_index=index,
+                )
+        if crash is not None:
+            enclave.crash()
+
+    # -- reporting -------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def injected_faults(self) -> int:
+        """Total faults injected so far (partitions count per blocked op)."""
+        with self._lock:
+            return (
+                self._counters["drops"]
+                + self._counters["duplicates"]
+                + self._counters["delays"]
+                + self._counters["corruptions"]
+                + self._counters["partition_blocks"]
+                + self._counters["crashes"]
+            )
+
+    def report(self) -> Dict[str, object]:
+        """Machine-readable fault-injection report (CI artifact payload)."""
+        with self._lock:
+            return {
+                "plan": self._plan.describe(),
+                "counters": dict(self._counters),
+                "rounds": self._round_index,
+                "events": [dict(e) for e in self._events],
+                "event_log_truncated": len(self._events) >= _EVENT_LOG_LIMIT,
+            }

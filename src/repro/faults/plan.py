@@ -1,0 +1,176 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a *pure function* from protocol coordinates to
+fault decisions.  There is no mutable schedule and no shared random
+stream: the action applied to the ``i``-th envelope on a link is
+derived by hashing ``(seed, sender, receiver, i)`` through
+:class:`~repro.crypto.rng.DeterministicRng`.  Two properties follow:
+
+* **Replayability** — re-running a study with the same
+  :class:`~repro.config.FaultConfig` injects exactly the same faults,
+  so any chaos-suite failure reproduces from its seed alone.
+* **Schedule determinism under concurrency** — per-link message indices
+  are deterministic even when the parallel execution engine services
+  members on worker threads (each worker owns its member's links), so
+  thread interleaving cannot change which envelopes are hit.
+
+This mirrors the seeded-exploration idea of coverage-guided fuzzers
+(deterministic, replayable schedules instead of ad-hoc sleeps) applied
+to a distributed protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import FaultConfig
+from ..crypto.rng import DeterministicRng
+
+#: Fault actions an envelope can draw.  ``None`` (no fault) is implied.
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+CORRUPT = "corrupt"
+
+ACTIONS = (DROP, DUPLICATE, DELAY, CORRUPT)
+
+#: Resolution of the per-envelope uniform draw.
+_DRAW_RESOLUTION = 1_000_000
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Tear an enclave down immediately before its N-th proxied ECALL.
+
+    ``ecall_index`` is 1-based and counts only ECALLs dispatched through
+    the untrusted :class:`~repro.tee.enclave.GuardedEnclaveProxy` —
+    provisioning-time calls made directly on the enclave during
+    federation build are not untrusted-host activity and do not count.
+    """
+
+    enclave_id: str
+    ecall_index: int
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A bounded network partition around one node.
+
+    From OCALL round ``start_round`` (1-based, counted across the whole
+    study in execution order) the next ``blocked_ops`` network
+    operations touching ``node_id`` fail; afterwards the partition
+    heals, so a bounded retry budget can ride it out.
+    """
+
+    node_id: str
+    start_round: int
+    blocked_ops: int
+
+
+class FaultPlan:
+    """Seeded, deterministic fault schedule for one protocol run."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        crash_points: Tuple[CrashPoint, ...] = (),
+        partition_windows: Tuple[PartitionWindow, ...] = (),
+    ):
+        total = drop_rate + duplicate_rate + delay_rate + corrupt_rate
+        if total > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to at most 1")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.corrupt_rate = corrupt_rate
+        self.crash_points = tuple(crash_points)
+        self.partition_windows = tuple(partition_windows)
+        # Pre-computed cumulative thresholds on the integer draw.
+        self._thresholds = []
+        cumulative = 0.0
+        for action, rate in (
+            (DROP, drop_rate),
+            (DUPLICATE, duplicate_rate),
+            (DELAY, delay_rate),
+            (CORRUPT, corrupt_rate),
+        ):
+            cumulative += rate
+            self._thresholds.append((int(cumulative * _DRAW_RESOLUTION), action))
+
+    @classmethod
+    def from_config(cls, config: FaultConfig) -> "FaultPlan":
+        """Materialise the plan described by a :class:`FaultConfig`."""
+        return cls(
+            seed=config.seed,
+            drop_rate=config.drop_rate,
+            duplicate_rate=config.duplicate_rate,
+            delay_rate=config.delay_rate,
+            corrupt_rate=config.corrupt_rate,
+            crash_points=tuple(
+                CrashPoint(enclave_id, index)
+                for enclave_id, index in config.crash_points
+            ),
+            partition_windows=tuple(
+                PartitionWindow(node_id, start_round, blocked_ops)
+                for node_id, start_round, blocked_ops in config.partition_windows
+            ),
+        )
+
+    # -- per-envelope decisions ---------------------------------------------
+
+    def _draw(self, *coordinates: object) -> int:
+        label = "faultplan/" + "/".join(str(c) for c in coordinates)
+        rng = DeterministicRng(f"{label}#{self.seed}")
+        return rng.randbelow(_DRAW_RESOLUTION)
+
+    def action_for(
+        self, sender: str, receiver: str, link_index: int
+    ) -> Optional[str]:
+        """The fault applied to the ``link_index``-th envelope on a link.
+
+        Returns one of :data:`ACTIONS` or ``None``.  Pure and
+        order-independent: the answer depends only on the seed and the
+        coordinates, never on previously asked questions.
+        """
+        draw = self._draw("send", sender, receiver, link_index)
+        for threshold, action in self._thresholds:
+            if draw < threshold:
+                return action
+        return None
+
+    def corrupt_offset(
+        self, sender: str, receiver: str, link_index: int, body_len: int
+    ) -> int:
+        """Deterministic byte offset to flip when corrupting a frame."""
+        if body_len <= 0:
+            return 0
+        return self._draw("corrupt", sender, receiver, link_index) % body_len
+
+    def describe(self) -> dict:
+        """Plan parameters as a JSON-friendly document (for reports)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "crash_points": [
+                {"enclave_id": p.enclave_id, "ecall_index": p.ecall_index}
+                for p in self.crash_points
+            ],
+            "partition_windows": [
+                {
+                    "node_id": w.node_id,
+                    "start_round": w.start_round,
+                    "blocked_ops": w.blocked_ops,
+                }
+                for w in self.partition_windows
+            ],
+        }

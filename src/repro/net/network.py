@@ -46,6 +46,10 @@ class SimulatedNetwork:
         #: Guards topology (registration/partitions) and the link/clock
         #: accounting; per-inbox delivery uses the per-node locks.
         self._stats_lock = threading.Lock()
+        #: Optional :class:`~repro.faults.FaultInjector` mediating
+        #: deliveries; ``None`` (the default) keeps sends on the direct
+        #: inbox-append path with zero added work.
+        self._fault_injector = None
 
     # -- Topology ---------------------------------------------------------------
 
@@ -70,6 +74,7 @@ class SimulatedNetwork:
 
     def heal(self, node_id: str) -> None:
         """Reconnect a previously partitioned node."""
+        self._require_known(node_id)
         with self._stats_lock:
             self._partitioned.discard(node_id)
 
@@ -81,6 +86,43 @@ class SimulatedNetwork:
         self._require_known(node_id)
         if node_id in self._partitioned:
             raise NetworkError(f"node {node_id!r} is partitioned")
+
+    # -- Fault injection ---------------------------------------------------------
+
+    def install_fault_injector(self, injector) -> None:
+        """Route every send through a :class:`~repro.faults.FaultInjector`.
+
+        Chaos runs only; without this call the delivery path is exactly
+        the pre-injection fast path.
+        """
+        self._fault_injector = injector
+        injector.attach(self)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        """Append to the receiver's inbox (fault-injector delivery hook)."""
+        with self._inbox_locks[envelope.receiver]:
+            self._inboxes[envelope.receiver].append(envelope)
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance the simulated clock (retry backoff); returns new time."""
+        if seconds < 0:
+            raise NetworkError("cannot advance the clock backwards")
+        with self._stats_lock:
+            self._simulated_time += seconds
+            return self._simulated_time
+
+    def flush(self, node_id: str) -> int:
+        """Discard every pending inbox message of a node.
+
+        Used by the protocol supervisor when a failover re-runs a phase:
+        stragglers from the aborted attempt must not pollute the retry.
+        Returns the number of messages discarded.
+        """
+        self._require_known(node_id)
+        with self._inbox_locks[node_id]:
+            flushed = len(self._inboxes[node_id])
+            self._inboxes[node_id].clear()
+        return flushed
 
     # -- Messaging ---------------------------------------------------------------
 
@@ -96,8 +138,11 @@ class SimulatedNetwork:
             self._links[(envelope.sender, envelope.receiver)].record(envelope)
             self._simulated_time += advance
             sim_time = self._simulated_time
-        with self._inbox_locks[envelope.receiver]:
-            self._inboxes[envelope.receiver].append(envelope)
+        if self._fault_injector is not None:
+            self._fault_injector.on_send(envelope)
+        else:
+            with self._inbox_locks[envelope.receiver]:
+                self._inboxes[envelope.receiver].append(envelope)
         if TRACER.enabled and TRACER.capture_messages:
             TRACER.event(
                 "net.send",
@@ -112,14 +157,19 @@ class SimulatedNetwork:
     def broadcast(
         self, sender: str, receivers: Iterable[str], tag: str, body: bytes
     ) -> int:
-        """Send the same body to each receiver; returns envelopes sent."""
-        count = 0
-        for receiver in receivers:
-            if receiver == sender:
-                continue
+        """Send the same body to each receiver; returns envelopes sent.
+
+        Validation is atomic: every receiver is checked before the first
+        envelope goes out, so an unknown or partitioned receiver in the
+        middle of the list cannot leave a half-delivered broadcast.
+        """
+        targets = [receiver for receiver in receivers if receiver != sender]
+        self._require_connected(sender)
+        for receiver in targets:
+            self._require_connected(receiver)
+        for receiver in targets:
             self.send(Envelope(sender=sender, receiver=receiver, tag=tag, body=body))
-            count += 1
-        return count
+        return len(targets)
 
     def receive(self, node_id: str, tag: Optional[str] = None) -> Envelope:
         """Pop the next inbox message (optionally requiring a tag).
@@ -154,8 +204,24 @@ class SimulatedNetwork:
         return envelope
 
     def drain(self, node_id: str, tag: str, count: int) -> List[Envelope]:
-        """Receive exactly ``count`` messages with ``tag``."""
-        return [self.receive(node_id, tag) for _ in range(count)]
+        """Receive exactly ``count`` messages with ``tag``.
+
+        All-or-nothing: if any receive fails (inbox runs empty, tag
+        mismatch), messages already popped are restored to the *front*
+        of the inbox in their original order before the error
+        propagates, so a failed drain never loses envelopes.
+        """
+        received: List[Envelope] = []
+        try:
+            for _ in range(count):
+                received.append(self.receive(node_id, tag))
+        except Exception:
+            with self._inbox_locks[node_id]:
+                inbox = self._inboxes[node_id]
+                for envelope in reversed(received):
+                    inbox.appendleft(envelope)
+            raise
+        return received
 
     def pending(self, node_id: str) -> int:
         self._require_known(node_id)

@@ -116,6 +116,45 @@ def record_cache_stats(registry: MetricsRegistry, stats: Dict[str, int]) -> None
     registry.gauge("enclave.moment_cache_hit_rate").set(hit_rate)
 
 
+def record_faults(registry: MetricsRegistry, counters: Dict[str, int]) -> None:
+    """Feed a ``FaultInjector``'s counters into ``faults.*`` metrics.
+
+    One counter per injected-fault kind (drops, duplicates, delays,
+    corruptions, partition blocks, crashes...), so a chaos run's report
+    states exactly what was thrown at it.
+    """
+    for name, value in sorted(counters.items()):
+        registry.counter(f"faults.{metric_slug(name)}").inc(int(value))
+
+
+def record_resilience(
+    registry: MetricsRegistry,
+    stats: Dict[str, float],
+    supervision: Dict[str, object] = None,
+) -> None:
+    """Feed resilient-exchange (and supervisor) stats into metrics.
+
+    ``resilience.retries`` counts per-member retry attempts,
+    ``resilience.backoff_s`` the simulated seconds the retrying side
+    waited, and the ``failovers``/``leader_crashes`` counters record the
+    supervisor's recovery work — all visible in the RunReport, so every
+    masked fault leaves a trace.
+    """
+    backoff_seconds = float(stats.get("backoff_seconds", 0.0))
+    registry.gauge("resilience.backoff_s").set(backoff_seconds)
+    for name, value in sorted(stats.items()):
+        if name == "backoff_seconds":
+            continue
+        registry.counter(f"resilience.{metric_slug(name)}").inc(int(value))
+    if supervision:
+        registry.counter("resilience.failovers").inc(
+            int(supervision.get("failovers", 0))
+        )
+        registry.counter("resilience.leader_crashes").inc(
+            int(supervision.get("crashes_handled", 0))
+        )
+
+
 def record_spans(registry: MetricsRegistry, spans: Iterable[Span]) -> None:
     """Aggregate span-level detail the accounting objects cannot provide.
 

@@ -168,16 +168,38 @@ class GuardedEnclaveProxy:
     enclave object, turning the simulation's trust boundary into an
     enforced API boundary: attribute access other than ``ecall``/identity
     raises :class:`EnclaveViolationError`.
+
+    An optional ``ecall_interceptor`` callable ``(enclave, name)`` runs
+    before each proxied ECALL dispatch; the fault injector uses it to
+    model enclave crashes at deterministic ECALL indices.  Without an
+    interceptor the proxy returns the enclave's bound ``ecall`` method
+    directly — the exact pre-interceptor fast path.
     """
 
     _ALLOWED = {"ecall", "enclave_id", "measurement", "meter", "crashed"}
 
-    def __init__(self, enclave: Enclave):
+    def __init__(
+        self,
+        enclave: Enclave,
+        ecall_interceptor: Optional[Callable[[Enclave, str], None]] = None,
+    ):
         object.__setattr__(self, "_enclave", enclave)
+        object.__setattr__(self, "_ecall_interceptor", ecall_interceptor)
 
     def __getattr__(self, name: str) -> Any:
         if name in self._ALLOWED:
-            return getattr(object.__getattribute__(self, "_enclave"), name)
+            enclave = object.__getattribute__(self, "_enclave")
+            if name == "ecall":
+                interceptor = object.__getattribute__(self, "_ecall_interceptor")
+                if interceptor is not None:
+                    def intercepted(
+                        ecall_name: str, *args: Any, **kwargs: Any
+                    ) -> Any:
+                        interceptor(enclave, ecall_name)
+                        return enclave.ecall(ecall_name, *args, **kwargs)
+
+                    return intercepted
+            return getattr(enclave, name)
         raise EnclaveViolationError(
             f"untrusted access to enclave attribute {name!r} denied"
         )
@@ -186,9 +208,12 @@ class GuardedEnclaveProxy:
         raise EnclaveViolationError("untrusted code cannot mutate enclave state")
 
 
-def guarded(enclave: Enclave) -> GuardedEnclaveProxy:
+def guarded(
+    enclave: Enclave,
+    ecall_interceptor: Optional[Callable[[Enclave, str], None]] = None,
+) -> GuardedEnclaveProxy:
     """Convenience constructor for :class:`GuardedEnclaveProxy`."""
-    return GuardedEnclaveProxy(enclave)
+    return GuardedEnclaveProxy(enclave, ecall_interceptor)
 
 
 def ecall_method(label: str) -> Callable[[F], F]:

@@ -1,0 +1,224 @@
+"""Chaos suite: seeded fault-plan sweep over the supervised runtime.
+
+Every run of the sweep must either complete with release decisions
+**bit-identical** to the fault-free reference of its (execution mode,
+collusion) cell, or abort with a *classified* :class:`ReproError`
+subclass — never hang, never return a divergent answer.
+
+Set ``CHAOS_REPORT_PATH`` to write a machine-readable JSON report of
+every sweep run (fault plans, injected-event counters, outcomes); the
+CI ``chaos`` job uploads it as an artifact.  Any failure reproduces
+locally from its seed alone: the plan is a pure function of the
+config (see ``docs/RESILIENCE.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro import StudyConfig, generate_cohort, partition_cohort
+from repro.config import (
+    CollusionPolicy,
+    ExecutionConfig,
+    FaultConfig,
+    ResilienceConfig,
+)
+from repro.core.federation import build_federation
+from repro.core.leader import elect_leader
+from repro.core.protocol import GenDPRProtocol
+from repro.errors import ReproError
+from repro.genomics import SyntheticSpec
+
+MEMBERS = 3
+STUDY_ID = "chaos-sweep"
+STUDY_SEED = 5
+
+#: The sweep: 24 seeded plans.  Mode and collusion derive from the seed
+#: so the grid covers {sequential, parallel} × {f=0, f=1} evenly.
+CHAOS_SEEDS = list(range(1, 25))
+#: Seeds whose plan additionally crashes the leader mid-study.
+CRASH_SEEDS = {s for s in CHAOS_SEEDS if s % 5 == 0}
+#: Seeds whose plan additionally opens a short partition window.
+PARTITION_SEEDS = {s for s in CHAOS_SEEDS if s % 7 == 0}
+
+_collected_runs = []
+
+
+def _mode(seed: int) -> str:
+    return "parallel" if seed % 2 else "sequential"
+
+
+def _f(seed: int) -> int:
+    return 1 if seed % 4 >= 2 else 0
+
+
+def _leader_id() -> str:
+    return elect_leader(
+        [f"gdo-{i}" for i in range(MEMBERS)], STUDY_SEED, STUDY_ID
+    )
+
+
+def _fault_config(seed: int) -> FaultConfig:
+    chaos = FaultConfig.chaos(seed, intensity=0.15)
+    crash_points = ((_leader_id(), 4),) if seed in CRASH_SEEDS else ()
+    member = next(
+        m for m in (f"gdo-{i}" for i in range(MEMBERS)) if m != _leader_id()
+    )
+    partition_windows = (
+        ((member, 1 + seed % 6, 2),) if seed in PARTITION_SEEDS else ()
+    )
+    return dataclasses.replace(
+        chaos, crash_points=crash_points, partition_windows=partition_windows
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_cohort():
+    cohort, _ = generate_cohort(
+        SyntheticSpec(num_snps=80, num_case=120, num_control=100, seed=5)
+    )
+    return cohort
+
+
+def _base_config(seed: int) -> StudyConfig:
+    return StudyConfig(
+        snp_count=80,
+        study_id=STUDY_ID,
+        seed=STUDY_SEED,
+        execution=ExecutionConfig(mode=_mode(seed)),
+        collusion=(
+            CollusionPolicy.static(_f(seed))
+            if _f(seed)
+            else CollusionPolicy.none()
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def references(chaos_cohort):
+    """Fault-free reference outcomes per (mode, f) cell.
+
+    Computed with resilience *disabled* — so the sweep simultaneously
+    validates that the resilient path (faulted or not) changes nothing.
+    """
+    refs = {}
+    for mode in ("sequential", "parallel"):
+        for f in (0, 1):
+            config = dataclasses.replace(
+                StudyConfig(
+                    snp_count=80,
+                    study_id=STUDY_ID,
+                    seed=STUDY_SEED,
+                    execution=ExecutionConfig(mode=mode),
+                    collusion=(
+                        CollusionPolicy.static(f)
+                        if f
+                        else CollusionPolicy.none()
+                    ),
+                )
+            )
+            federation = build_federation(
+                config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+            )
+            refs[(mode, f)] = GenDPRProtocol(federation).run()
+    return refs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def chaos_report():
+    """Write the sweep's fault-injection report if a path is configured."""
+    yield
+    path = os.environ.get("CHAOS_REPORT_PATH")
+    if not path or not _collected_runs:
+        return
+    completed = sum(1 for r in _collected_runs if r["outcome"] == "completed")
+    payload = {
+        "study_id": STUDY_ID,
+        "members": MEMBERS,
+        "runs": list(_collected_runs),
+        "summary": {
+            "total": len(_collected_runs),
+            "completed_identical": completed,
+            "classified_aborts": len(_collected_runs) - completed,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_run_is_identical_or_classified(seed, chaos_cohort, references):
+    faults = _fault_config(seed)
+    config = dataclasses.replace(
+        _base_config(seed),
+        faults=faults,
+        resilience=ResilienceConfig.supervised(),
+    )
+    reference = references[(_mode(seed), _f(seed))]
+    federation = build_federation(
+        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+    )
+    record = {
+        "seed": seed,
+        "mode": _mode(seed),
+        "f": _f(seed),
+        "plan": federation.fault_injector.plan.describe(),
+    }
+    try:
+        result = GenDPRProtocol(federation).run()
+    except ReproError as exc:
+        record["outcome"] = "classified_abort"
+        record["error"] = type(exc).__name__
+    else:
+        assert result.l_prime == reference.l_prime
+        assert result.l_double_prime == reference.l_double_prime
+        assert result.l_safe == reference.l_safe
+        if reference.collusion is not None:
+            assert result.collusion is not None
+            assert (
+                result.collusion.baseline_safe
+                == reference.collusion.baseline_safe
+            )
+        record["outcome"] = "completed"
+        record["failovers"] = federation.failovers
+    finally:
+        record["injected"] = federation.fault_injector.counters()
+        _collected_runs.append(record)
+
+
+def test_sweep_covers_both_modes_and_collusion():
+    cells = {(_mode(s), _f(s)) for s in CHAOS_SEEDS}
+    assert cells == {
+        ("sequential", 0),
+        ("sequential", 1),
+        ("parallel", 0),
+        ("parallel", 1),
+    }
+    assert len(CHAOS_SEEDS) >= 20
+    assert CRASH_SEEDS and PARTITION_SEEDS
+
+
+def test_chaos_replays_identically(chaos_cohort, references):
+    """The same seed reproduces the same injected faults, bit for bit."""
+    seed = 10  # a crash seed: the heaviest machinery in one run
+    counters = []
+    for _ in range(2):
+        config = dataclasses.replace(
+            _base_config(seed),
+            faults=_fault_config(seed),
+            resilience=ResilienceConfig.supervised(),
+        )
+        federation = build_federation(
+            config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+        )
+        try:
+            GenDPRProtocol(federation).run()
+        except ReproError:
+            pass
+        counters.append(federation.fault_injector.counters())
+    assert counters[0] == counters[1]

@@ -267,6 +267,66 @@ class TestSimulatedNetwork:
     def test_nodes_sorted(self):
         assert self._net().nodes() == ["a", "b", "c"]
 
+    def test_heal_unknown_node_rejected(self):
+        with pytest.raises(UnknownPeerError):
+            self._net().heal("nope")
+
+    def test_heal_is_idempotent_for_known_nodes(self):
+        net = self._net()
+        net.heal("a")  # never partitioned: a no-op, not an error
+        net.partition("a")
+        net.heal("a")
+        net.heal("a")
+        net.send(Envelope("a", "b", "t", b""))
+
+    def test_broadcast_is_atomic_on_partitioned_target(self):
+        net = self._net()
+        net.partition("c")
+        with pytest.raises(NetworkError):
+            net.broadcast("a", ["b", "c"], "t", b"x")
+        # Validation precedes delivery: "b" saw nothing.
+        assert net.pending("b") == 0
+
+    def test_broadcast_is_atomic_on_unknown_target(self):
+        net = self._net()
+        with pytest.raises(UnknownPeerError):
+            net.broadcast("a", ["b", "nope"], "t", b"x")
+        assert net.pending("b") == 0
+
+    def test_drain_restores_inbox_on_failure(self):
+        net = self._net()
+        for i in range(3):
+            net.send(Envelope("a", "b", "t", str(i).encode()))
+        net.send(Envelope("a", "b", "other", b"odd one out"))
+        with pytest.raises(NetworkError):
+            net.drain("b", "t", 4)
+        # All-or-nothing: the three popped envelopes went back, in order.
+        assert net.pending("b") == 4
+        assert [e.body for e in net.drain("b", "t", 3)] == [b"0", b"1", b"2"]
+
+    def test_drain_restores_inbox_when_short(self):
+        net = self._net()
+        net.send(Envelope("a", "b", "t", b"only"))
+        with pytest.raises(NetworkError):
+            net.drain("b", "t", 2)
+        assert net.pending("b") == 1
+
+    def test_advance_clock(self):
+        net = self._net()
+        assert net.advance_clock(1.5) == 1.5
+        assert net.simulated_time == 1.5
+        with pytest.raises(NetworkError):
+            net.advance_clock(-0.1)
+
+    def test_flush_discards_pending(self):
+        net = self._net()
+        for _ in range(3):
+            net.send(Envelope("a", "b", "t", b"x"))
+        assert net.flush("b") == 3
+        assert net.pending("b") == 0
+        with pytest.raises(UnknownPeerError):
+            net.flush("nope")
+
 
 def test_network_profile_validation():
     with pytest.raises(Exception):

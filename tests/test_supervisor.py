@@ -1,0 +1,236 @@
+"""Supervised runtime: retry, eviction, automated leader failover."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import StudyConfig, generate_cohort, partition_cohort
+from repro.config import FaultConfig, ResilienceConfig
+from repro.core.federation import build_federation
+from repro.core.leader import elect_leader
+from repro.core.protocol import GenDPRProtocol
+from repro.errors import (
+    LeaderFailoverError,
+    MemberUnresponsiveError,
+    ResilienceError,
+)
+from repro.genomics import SyntheticSpec
+
+MEMBERS = 3
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    cohort, _ = generate_cohort(
+        SyntheticSpec(num_snps=80, num_case=120, num_control=100, seed=5)
+    )
+    return cohort
+
+
+@pytest.fixture(scope="module")
+def base_config(cohort):
+    return StudyConfig(snp_count=cohort.num_snps, study_id="supervised", seed=5)
+
+
+@pytest.fixture(scope="module")
+def leader_id(base_config):
+    member_ids = [f"gdo-{i}" for i in range(MEMBERS)]
+    return elect_leader(member_ids, base_config.seed, base_config.study_id)
+
+
+@pytest.fixture(scope="module")
+def reference(cohort, base_config):
+    federation = build_federation(
+        base_config, partition_cohort(cohort, MEMBERS), cohort
+    )
+    return GenDPRProtocol(federation).run()
+
+
+def _run(cohort, config):
+    federation = build_federation(
+        config, partition_cohort(cohort, MEMBERS), cohort
+    )
+    result = GenDPRProtocol(federation).run()
+    return federation, result
+
+
+def _same_outcome(result, reference):
+    return (
+        result.l_prime == reference.l_prime
+        and result.l_double_prime == reference.l_double_prime
+        and result.l_safe == reference.l_safe
+    )
+
+
+class TestSupervisedHappyPath:
+    def test_resilient_run_without_faults_is_identical(
+        self, cohort, base_config, reference
+    ):
+        config = dataclasses.replace(
+            base_config, resilience=ResilienceConfig.supervised()
+        )
+        federation, result = _run(cohort, config)
+        assert _same_outcome(result, reference)
+        assert federation.failovers == 0
+
+
+class TestLeaderFailover:
+    # Proxied leader ECALLs in a supervised run: 1 = initial
+    # checkpoint, 2 = lead_collect_summaries, 3 = checkpoint,
+    # 4 = lead_run_maf, 5 = lead_broadcast_retained, 6 = checkpoint, ...
+
+    def test_crash_after_phase_one_completes_identically(
+        self, cohort, base_config, reference, leader_id
+    ):
+        """The ISSUE's flagship scenario: kill the leader right after
+        Phase 1, watch the supervisor re-elect (same GDO), re-attest,
+        restore the sealed checkpoint and finish bit-identically —
+        with no manual re-wiring."""
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True, seed=0, crash_points=((leader_id, 4),)
+            ),
+            resilience=ResilienceConfig.supervised(),
+        )
+        federation, result = _run(cohort, config)
+        assert federation.failovers == 1
+        assert federation.fault_injector.counters()["crashes"] == 1
+        assert _same_outcome(result, reference)
+
+    @pytest.mark.parametrize("ecall_index", [1, 2, 3, 6, 7, 9, 10])
+    def test_crash_at_any_step_is_recovered(
+        self, cohort, base_config, reference, leader_id, ecall_index
+    ):
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True, seed=0, crash_points=((leader_id, ecall_index),)
+            ),
+            resilience=ResilienceConfig.supervised(),
+        )
+        federation, result = _run(cohort, config)
+        assert federation.failovers == 1
+        assert _same_outcome(result, reference)
+
+    def test_repeated_crashes_within_budget_are_absorbed(
+        self, cohort, base_config, reference, leader_id
+    ):
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True,
+                seed=0,
+                crash_points=((leader_id, 4), (leader_id, 8)),
+            ),
+            resilience=ResilienceConfig.supervised(max_failovers=2),
+        )
+        federation, result = _run(cohort, config)
+        assert federation.failovers == 2
+        assert _same_outcome(result, reference)
+
+    def test_failover_budget_aborts_classified(
+        self, cohort, base_config, leader_id
+    ):
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True,
+                seed=0,
+                crash_points=((leader_id, 4), (leader_id, 8)),
+            ),
+            resilience=ResilienceConfig.supervised(max_failovers=1),
+        )
+        with pytest.raises(LeaderFailoverError):
+            _run(cohort, config)
+
+    def test_failover_is_traced(self, cohort, base_config, leader_id):
+        from repro.config import ObservabilityConfig
+
+        config = dataclasses.replace(
+            base_config,
+            observability=ObservabilityConfig(enabled=True),
+            faults=FaultConfig(
+                enabled=True, seed=0, crash_points=((leader_id, 4),)
+            ),
+            resilience=ResilienceConfig.supervised(),
+        )
+        _federation, result = _run(cohort, config)
+        counters = result.observability.metrics["counters"]
+        assert counters["resilience.failovers"] == 1
+        assert counters["resilience.leader_crashes"] == 1
+        assert counters["faults.crashes"] == 1
+        events = [
+            s for s in result.observability.spans
+            if s.name == "supervisor.failover"
+        ]
+        assert len(events) == 1
+
+
+class TestMemberEviction:
+    def test_member_crash_aborts_with_failure_report(
+        self, cohort, base_config, leader_id
+    ):
+        member = next(
+            m
+            for m in (f"gdo-{i}" for i in range(MEMBERS))
+            if m != leader_id
+        )
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True, seed=0, crash_points=((member, 1),)
+            ),
+            resilience=ResilienceConfig.supervised(),
+        )
+        with pytest.raises(MemberUnresponsiveError) as excinfo:
+            _run(cohort, config)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.member_id == member
+        assert report.cause == "enclave_crashed"
+        assert isinstance(excinfo.value, ResilienceError)
+        assert report.to_dict()["study_id"] == base_config.study_id
+
+    def test_member_past_retry_budget_aborts_classified(
+        self, cohort, base_config, leader_id
+    ):
+        member = next(
+            m
+            for m in (f"gdo-{i}" for i in range(MEMBERS))
+            if m != leader_id
+        )
+        # A partition window so wide no retry budget can ride it out.
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True,
+                seed=0,
+                partition_windows=((member, 1, 10_000),),
+            ),
+            resilience=ResilienceConfig.supervised(max_attempts=3),
+        )
+        with pytest.raises(MemberUnresponsiveError) as excinfo:
+            _run(cohort, config)
+        assert excinfo.value.report.attempts == 3
+
+    def test_bounded_partition_is_ridden_out(
+        self, cohort, base_config, reference, leader_id
+    ):
+        member = next(
+            m
+            for m in (f"gdo-{i}" for i in range(MEMBERS))
+            if m != leader_id
+        )
+        config = dataclasses.replace(
+            base_config,
+            faults=FaultConfig(
+                enabled=True, seed=0, partition_windows=((member, 2, 2),)
+            ),
+            resilience=ResilienceConfig.supervised(max_attempts=6),
+        )
+        federation, result = _run(cohort, config)
+        assert federation.fault_injector.counters()["partition_blocks"] >= 1
+        assert _same_outcome(result, reference)

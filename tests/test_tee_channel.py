@@ -142,6 +142,43 @@ class TestFraming:
         frame = end_a.protect(bytes(100))
         assert len(frame) - 100 == ChannelEndpoint.overhead()
 
+    def test_duplicate_frame_rejected_channel_stays_usable(self):
+        """A duplicated envelope (fault injection, or a resilient
+        re-send racing its original) must be rejected by replay
+        protection without poisoning the channel."""
+        end_a, end_b, _ = _establish()
+        frame = end_a.protect(b"first")
+        assert end_b.open(frame) == b"first"
+        with pytest.raises(ChannelError):
+            end_b.open(frame)
+        # The duplicate did not advance the receive counter: the next
+        # fresh frame still opens.
+        follow_up = end_a.protect(b"second")
+        assert end_b.open(follow_up) == b"second"
+
+    def test_many_duplicates_then_fresh_traffic(self):
+        end_a, end_b, _ = _establish()
+        frame = end_a.protect(b"once")
+        assert end_b.open(frame) == b"once"
+        for _ in range(5):
+            with pytest.raises(ChannelError):
+                end_b.open(frame)
+        assert end_b.open(end_a.protect(b"still fine")) == b"still fine"
+
+    def test_forged_frame_chains_authentication_error(self):
+        end_a, end_b, _ = _establish()
+        original = end_a.protect(b"payload")
+        forged = bytearray(original)
+        forged[-1] ^= 0xFF  # flip a tag byte
+        from repro.errors import AuthenticationError
+
+        with pytest.raises(ChannelError) as excinfo:
+            end_b.open(bytes(forged))
+        assert isinstance(excinfo.value.__cause__, AuthenticationError)
+        # The rejected frame consumed nothing: the genuine copy (an
+        # idempotent re-send of the same sequence number) still opens.
+        assert end_b.open(original) == b"payload"
+
     def test_long_sequence(self):
         end_a, end_b, _ = _establish()
         for i in range(50):
