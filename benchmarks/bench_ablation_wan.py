@@ -18,10 +18,10 @@ from repro.bench import (
     paper_cohort,
     render_table,
 )
+from repro.bench.workloads import PAPER_THRESHOLDS
 from repro.config import NetworkProfile, StudyConfig
 from repro.core.baseline import run_centralized_study
 from repro.core.protocol import run_study
-from repro.bench.workloads import PAPER_THRESHOLDS
 from repro.net import SimulatedNetwork
 
 SNPS = 2_500

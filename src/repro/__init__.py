@@ -45,7 +45,6 @@ from .core import (
     run_study,
 )
 from .errors import ReproError
-from .obs import RunReport
 from .genomics import (
     Cohort,
     GenotypeMatrix,
@@ -54,6 +53,7 @@ from .genomics import (
     generate_cohort,
     partition_cohort,
 )
+from .obs import RunReport
 
 __version__ = "1.2.0"
 

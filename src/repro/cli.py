@@ -14,6 +14,9 @@ Five subcommands cover the adoption path of a federation operator:
 * ``repro attack`` — evaluate the LR membership detector against an
   arbitrary SNP set of a saved cohort (e.g. to double-check a release).
 * ``repro info`` — describe a saved cohort bundle.
+* ``repro lint`` — run the domain-aware static analyser over the
+  source tree (enclave-boundary, determinism, crypto-misuse, lock and
+  error-taxonomy rules; see ``docs/STATIC_ANALYSIS.md``).
 
 Installed as ``python -m repro`` (see ``repro/__main__.py``).
 """
@@ -38,6 +41,7 @@ from .config import (
 from .core.protocol import run_study
 from .errors import ReproError
 from .genomics import Cohort, GenotypeMatrix, SnpPanel, SyntheticSpec, generate_cohort
+from .lint.cli import configure_parser as configure_lint_parser
 from .obs import RunReport, write_chrome_trace, write_jsonl
 
 _BUNDLE_KEYS = ("case", "control")
@@ -259,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="describe a cohort bundle")
     info.add_argument("--cohort", required=True)
     info.set_defaults(func=_cmd_info)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the domain-aware static analyser "
+        "(docs/STATIC_ANALYSIS.md)",
+    )
+    configure_lint_parser(lint)
 
     return parser
 

@@ -19,21 +19,21 @@ from .audit import AuditReport, audit_federation, genome_egress_savings
 from .baseline import CentralizedVerifier, run_centralized_study
 from .dp import LaplaceMechanism, epsilon_for_frequency_error
 from .dynamic import DynamicStudy, EpochReport
+from .enclave_logic import GenDPREnclave
+from .federation import Federation, GdoHost, build_federation
 from .interdependent import (
     InterdependentAssessment,
     assess_interdependent_release,
     cumulative_release_power,
 )
-from .enclave_logic import GenDPREnclave
-from .federation import Federation, GdoHost, build_federation
 from .leader import elect_leader
 from .naive import NaiveResult, naive_traffic_bytes, run_naive_study
 from .phases import CollusionReport, CombinationOutcome, StudyResult
 from .pipeline import PipelineOutcome, ld_prune, run_local_pipeline
 from .protocol import GenDPRProtocol, run_study
+from .release import GwasRelease, SnpStatistic, build_release, hybrid_release
 from .resilience import FailureReport, ResilientExchange
 from .supervisor import ProtocolSupervisor
-from .release import GwasRelease, SnpStatistic, build_release, hybrid_release
 from .timing import (
     DATA_AGGREGATION,
     INDEXING,

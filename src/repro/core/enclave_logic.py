@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..crypto.signing import MacSigner
 from ..errors import PhaseOrderError, ProtocolError, TEEError
 from ..genomics.vcf import SignedMatrix, SignedVcf
 from ..net import serialization
@@ -52,7 +53,6 @@ from ..tee.channel import ChannelEndpoint
 from ..tee.enclave import Enclave, ecall
 from ..tee.sealing import SealedBlob, seal, unseal
 from ..tee.storage import ColumnReader, SealedColumnStore, seal_matrix
-from ..crypto.signing import MacSigner
 from . import pipeline
 
 #: Host-routed exchange: {peer_id: request_frame} -> {peer_id: response_frame}.
@@ -302,7 +302,10 @@ class GenDPREnclave(Enclave):
         inverse = inverse.reshape(pair_array.shape)
         with ColumnReader(self, store) as reader:
             gathered = reader.columns(unique_columns.tolist())
-        buffer_name = f"ld-moments/{id(pairs)}"
+        # One moment gather is in flight per enclave at a time (ECALLs
+        # are synchronous), so a fixed name is unambiguous — and unlike
+        # an id()-derived name it is identical across replayed runs.
+        buffer_name = "ld-moments"
         self.meter.register_buffer(buffer_name, gathered.nbytes)
         try:
             out = np.empty((len(pairs), 5), dtype=np.int64)

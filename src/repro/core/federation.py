@@ -21,11 +21,11 @@ from typing import Dict, List, Optional
 
 from ..config import StudyConfig
 from ..crypto.rng import DeterministicRng
+from ..crypto.signing import MacSigner
 from ..errors import ProtocolError
 from ..genomics.partition import LocalDataset
 from ..genomics.population import Cohort
 from ..genomics.vcf import SignedMatrix
-from ..crypto.signing import MacSigner
 from ..net import Envelope, SimulatedNetwork
 from ..tee.attestation import AttestationService, Platform
 from ..tee.channel import establish_channel

@@ -67,6 +67,14 @@ class EnclaveViolationError(TEEError):
     """Untrusted code attempted a forbidden access into enclave memory."""
 
 
+class MeasurementError(TEEError):
+    """An enclave identity hash is malformed (wrong size or encoding)."""
+
+
+class ResourceError(TEEError):
+    """The enclave resource meter was misused (e.g. negative buffer)."""
+
+
 # ---------------------------------------------------------------------------
 # Network
 # ---------------------------------------------------------------------------
@@ -170,6 +178,19 @@ class LeaderFailoverError(ResilienceError):
     Raised when the leader enclave keeps crashing past the configured
     failover budget, or when a replacement cannot be provisioned.
     """
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class LintError(ReproError):
+    """Base class for failures of the static analyser (:mod:`repro.lint`)."""
+
+
+class LintConfigError(LintError):
+    """lint.toml, a baseline file or the CLI arguments are invalid."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,113 @@
+"""Baseline (grandfathered-findings) file support.
+
+A baseline lets the linter be adopted on a tree with pre-existing
+violations: known findings are recorded once and the CI gate fails only
+on *new* ones.  Entries are content-addressed — ``(rule, module,
+stripped source line)`` — so renumbering lines does not invalidate
+them, while fixing or editing the offending line retires the entry
+(and the engine then reports it as *unused*, keeping baselines tidy).
+
+The shipped repository baseline is empty: every finding the rules
+raised against the existing tree was fixed rather than grandfathered.
+Each entry supports a ``note`` field so any future grandfathering is
+documented inline, next to the suppression itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from ..errors import LintConfigError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings, with usage tracking."""
+
+    entries: Dict[_Key, Dict[str, Any]] = field(default_factory=dict)
+    _used: Set[_Key] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintConfigError(f"unreadable baseline {path}: {exc}") from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != BASELINE_VERSION
+            or not isinstance(document.get("entries"), list)
+        ):
+            raise LintConfigError(
+                f"baseline {path} is not a version-{BASELINE_VERSION} "
+                "lint baseline document"
+            )
+        baseline = cls()
+        for entry in document["entries"]:
+            if not isinstance(entry, dict):
+                raise LintConfigError(f"malformed baseline entry in {path}")
+            try:
+                key = (
+                    str(entry["rule"]),
+                    str(entry["module"]),
+                    str(entry["content"]),
+                )
+            except KeyError as exc:
+                raise LintConfigError(
+                    f"baseline entry in {path} misses field {exc}"
+                ) from exc
+            baseline.entries[key] = entry
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.baseline_key()
+            baseline.entries[key] = {
+                "rule": finding.rule,
+                "module": finding.module,
+                "content": finding.line_content,
+                "note": f"grandfathered: {finding.message}",
+            }
+        return baseline
+
+    def covers(self, finding: Finding) -> bool:
+        key = finding.baseline_key()
+        if key in self.entries:
+            self._used.add(key)
+            return True
+        return False
+
+    def unused_entries(self) -> List[Dict[str, Any]]:
+        """Entries that matched nothing this run (stale suppressions)."""
+        return [
+            entry
+            for key, entry in sorted(self.entries.items())
+            if key not in self._used
+        ]
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                self.entries[key] for key in sorted(self.entries)
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)

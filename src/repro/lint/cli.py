@@ -1,0 +1,137 @@
+"""``repro lint`` — the CLI front-end of the static analyser.
+
+Exit codes: ``0`` clean, ``1`` non-baselined error findings (or usage
+errors, matching the rest of the CLI).  ``--update-baseline`` rewrites
+the baseline to accept the current findings and exits 0 — the
+grandfathering workflow for adopting a new rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..errors import LintConfigError
+from .baseline import Baseline
+from .config import LintConfig, find_config, load_config
+from .engine import run_lint
+from .reporting import human_report, json_report
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint`` arguments to a subcommand parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--config",
+        help="lint.toml path (default: nearest lint.toml above the "
+        "first input path)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline JSON path (default: from config, resolved "
+        "relative to the config file)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.set_defaults(func=run_from_args)
+
+
+def _resolve_config(args: argparse.Namespace, first_path: Path):
+    if args.config:
+        config_path: Optional[Path] = Path(args.config)
+        if not config_path.is_file():
+            raise LintConfigError(f"config file not found: {config_path}")
+    else:
+        config_path = find_config(first_path)
+    config = load_config(config_path) if config_path else LintConfig()
+    if args.rules:
+        selected = tuple(
+            token.strip() for token in args.rules.split(",") if token.strip()
+        )
+        config = LintConfig(
+            scope_map=config.scope_map,
+            rule_options=config.rule_options,
+            rule_scopes=config.rule_scopes,
+            enabled_rules=selected,
+            baseline_path=config.baseline_path,
+        )
+    return config, config_path
+
+
+def _resolve_baseline_path(
+    args: argparse.Namespace,
+    config: LintConfig,
+    config_path: Optional[Path],
+) -> Optional[Path]:
+    if args.baseline:
+        return Path(args.baseline)
+    if config.baseline_path is None:
+        return None
+    root = config_path.parent if config_path else Path.cwd()
+    return root / config.baseline_path
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    paths = [Path(raw) for raw in args.paths]
+    config, config_path = _resolve_config(args, paths[0])
+    baseline_path = _resolve_baseline_path(args, config, config_path)
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+
+    result = run_lint(paths, config, baseline)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            raise LintConfigError(
+                "--update-baseline needs a baseline path (config or "
+                "--baseline)"
+            )
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline updated: {baseline_path} now grandfathers "
+            f"{len(result.findings)} finding(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        rendered = json.dumps(
+            json_report(result, config, args.paths), indent=2, sort_keys=True
+        )
+    else:
+        rendered = human_report(result)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"lint report written to {args.output}")
+    else:
+        print(rendered)
+    if not result.clean:
+        print(
+            f"error: {len(result.errors)} lint error(s); see report above",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

@@ -1,0 +1,165 @@
+"""Lint configuration: scope map, per-rule options, TOML loading.
+
+The *scope map* is the piece that makes the rules domain-aware: it
+assigns dotted-module prefixes to named scopes ("enclave", "crypto",
+"net", …) and each rule declares which scopes it patrols.  The shipped
+defaults mirror the repository layout; ``lint.toml`` at the repository
+root can reshape them without code changes.
+
+TOML parsing uses the stdlib ``tomllib`` (Python ≥ 3.11).  On older
+interpreters the embedded defaults still work — only loading an
+explicit TOML file raises, with a clear message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import LintConfigError
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.9 only
+    tomllib = None  # type: ignore[assignment]
+
+
+#: Default scope map, mirroring the repository layout.  The "enclave"
+#: scope is the paper's trust boundary: code attested to run inside a
+#: TEE plus the pure protocol-phase logic it executes.
+DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
+    "enclave": ("repro.tee", "repro.core.enclave_logic", "repro.core.phases"),
+    "protocol": ("repro.core",),
+    "stats": ("repro.stats",),
+    "crypto": ("repro.crypto",),
+    "tee": ("repro.tee",),
+    "net": ("repro.net",),
+    "resilience": ("repro.core.resilience", "repro.net"),
+}
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class ScopeMap:
+    """Maps dotted-module prefixes to named scopes."""
+
+    scopes: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPES)
+    )
+
+    def scopes_for(self, module: str) -> "frozenset[str]":
+        """Every scope whose prefixes cover ``module``."""
+        matched = set()
+        for scope, prefixes in self.scopes.items():
+            for prefix in prefixes:
+                if module == prefix or module.startswith(prefix + "."):
+                    matched.add(scope)
+                    break
+        return frozenset(matched)
+
+    def as_dict(self) -> Dict[str, List[str]]:
+        return {scope: list(prefixes) for scope, prefixes in self.scopes.items()}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Fully-resolved configuration for one engine run."""
+
+    scope_map: ScopeMap = field(default_factory=ScopeMap)
+    #: Per-rule option mappings, keyed by rule id (e.g. ``{"R1": {...}}``).
+    rule_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    #: Per-rule scope overrides; rules fall back to their declared defaults.
+    rule_scopes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Rule ids to run; ``None`` means every registered rule.
+    enabled_rules: Optional[Tuple[str, ...]] = None
+    baseline_path: Optional[str] = DEFAULT_BASELINE
+
+    def options_for(self, rule_id: str) -> Mapping[str, Any]:
+        return self.rule_options.get(rule_id, {})
+
+    def scopes_for_rule(
+        self, rule_id: str, default: Sequence[str]
+    ) -> Tuple[str, ...]:
+        return tuple(self.rule_scopes.get(rule_id, tuple(default)))
+
+
+def _expect_table(value: Any, context: str) -> Mapping[str, Any]:
+    if not isinstance(value, dict):
+        raise LintConfigError(f"{context} must be a TOML table")
+    return value
+
+
+def _string_list(value: Any, context: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(f"{context} must be a list of strings")
+    return tuple(value)
+
+
+def parse_config(document: Mapping[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed TOML document."""
+    section = _expect_table(document.get("lint", {}), "[lint]")
+    scopes: Dict[str, Tuple[str, ...]] = dict(DEFAULT_SCOPES)
+    if "scopes" in section:
+        raw_scopes = _expect_table(section["scopes"], "[lint.scopes]")
+        scopes = {
+            name: _string_list(prefixes, f"[lint.scopes].{name}")
+            for name, prefixes in raw_scopes.items()
+        }
+    rule_options: Dict[str, Dict[str, Any]] = {}
+    rule_scopes: Dict[str, Tuple[str, ...]] = {}
+    if "rules" in section:
+        raw_rules = _expect_table(section["rules"], "[lint.rules]")
+        for rule_id, raw in raw_rules.items():
+            table = dict(_expect_table(raw, f"[lint.rules.{rule_id}]"))
+            if "scopes" in table:
+                rule_scopes[rule_id] = _string_list(
+                    table.pop("scopes"), f"[lint.rules.{rule_id}].scopes"
+                )
+            if table.pop("enabled", True) is False:
+                table["__disabled__"] = True
+            rule_options[rule_id] = table
+    enabled = None
+    if "select" in section:
+        enabled = _string_list(section["select"], "[lint].select")
+    baseline = section.get("baseline", DEFAULT_BASELINE)
+    if baseline is not None and not isinstance(baseline, str):
+        raise LintConfigError("[lint].baseline must be a string path")
+    return LintConfig(
+        scope_map=ScopeMap(scopes),
+        rule_options=rule_options,
+        rule_scopes=rule_scopes,
+        enabled_rules=enabled,
+        baseline_path=baseline,
+    )
+
+
+def load_config(path: Path) -> LintConfig:
+    """Load ``lint.toml``; missing file yields the embedded defaults."""
+    if not path.is_file():
+        return LintConfig()
+    if tomllib is None:
+        raise LintConfigError(
+            f"cannot read {path}: TOML parsing needs Python >= 3.11 "
+            "(tomllib); rerun on a newer interpreter or drop the file"
+        )
+    try:
+        with path.open("rb") as handle:
+            document = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise LintConfigError(f"invalid TOML in {path}: {exc}") from exc
+    return parse_config(document)
+
+
+def find_config(start: Path) -> Optional[Path]:
+    """Nearest ``lint.toml`` at or above ``start`` (a file or directory)."""
+    current = start if start.is_dir() else start.parent
+    current = current.resolve()
+    for candidate in (current, *current.parents):
+        path = candidate / "lint.toml"
+        if path.is_file():
+            return path
+    return None

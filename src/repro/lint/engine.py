@@ -1,0 +1,208 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+A run proceeds in four stages:
+
+1. **Discover** — expand the given paths to ``.py`` files (skipping
+   ``__pycache__`` and hidden directories).
+2. **Parse + scope** — each file becomes a
+   :class:`~repro.lint.rules.ModuleInfo` with its dotted module name,
+   import table and matched scopes.  Syntax errors become findings of
+   the synthetic ``SYNTAX`` rule rather than aborting the run.
+3. **Check** — every registered rule whose scopes intersect a module's
+   scopes runs over it; whole-program rules emit extra findings from
+   ``finalize()`` once all modules are seen.
+4. **Filter** — inline ``# lint: disable=R3`` suppressions and the
+   baseline remove accepted findings; what remains is reported and
+   drives the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import LintConfigError
+from .astutil import ImportTable, module_name_for_path
+from .baseline import Baseline
+from .config import LintConfig
+from .findings import Finding, Severity
+from .rules import BoundRule, ModuleInfo, instantiate_rules
+
+#: ``# lint: disable`` or ``# lint: disable=R1,R3`` on the finding line.
+_SUPPRESSION = re.compile(
+    r"#\s*lint:\s*disable"
+    r"(?:=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+SYNTAX_RULE = "SYNTAX"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    modules: List[ModuleInfo] = field(default_factory=list)
+    suppressed_inline: int = 0
+    baselined: int = 0
+    unused_baseline_entries: List[Dict[str, object]] = field(
+        default_factory=list
+    )
+    all_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [
+            finding
+            for finding in self.findings
+            if finding.severity is Severity.ERROR
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            key = finding.severity.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    found: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise LintConfigError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            found.append(candidate)
+    return found
+
+
+def load_module(path: Path, config: LintConfig) -> "ModuleInfo | Finding":
+    """Parse one file; a syntax error yields a SYNTAX finding instead."""
+    display = str(path)
+    source = path.read_text(encoding="utf-8")
+    module_name = module_name_for_path(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return Finding(
+            rule=SYNTAX_RULE,
+            severity=Severity.ERROR,
+            path=display,
+            module=module_name,
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+            line_content=(exc.text or "").strip(),
+        )
+    lines = tuple(source.splitlines())
+    return ModuleInfo(
+        path=path,
+        display_path=display,
+        module=module_name,
+        source=source,
+        lines=lines,
+        tree=tree,
+        scopes=config.scope_map.scopes_for(module_name),
+        imports=ImportTable.collect(tree, module_name),
+    )
+
+
+def _suppressed_rules(line: str) -> Optional["frozenset[str]"]:
+    """Rule ids disabled on this line; empty frozenset means *all*."""
+    match = _SUPPRESSION.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in rules.split(",") if token.strip()
+    )
+
+
+def _is_suppressed(finding: Finding, module: Optional[ModuleInfo]) -> bool:
+    if module is None:
+        return False
+    line = (
+        module.lines[finding.line - 1]
+        if 1 <= finding.line <= len(module.lines)
+        else ""
+    )
+    disabled = _suppressed_rules(line)
+    if disabled is None:
+        return False
+    return not disabled or finding.rule in disabled
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Run every configured rule over ``paths``; see module docstring."""
+    config = config or LintConfig()
+    baseline = baseline if baseline is not None else Baseline()
+    result = LintResult()
+    bound_rules: List[BoundRule] = instantiate_rules(config)
+
+    raw: List[Tuple[Finding, Optional[ModuleInfo]]] = []
+    modules_by_name: Dict[str, ModuleInfo] = {}
+    for path in discover_files(paths):
+        result.files_scanned += 1
+        loaded = load_module(path, config)
+        if isinstance(loaded, Finding):
+            raw.append((loaded, None))
+            continue
+        result.modules.append(loaded)
+        modules_by_name[loaded.module] = loaded
+        for bound in bound_rules:
+            if not bound.applies_to(loaded.scopes):
+                continue
+            for finding in bound.rule.check(loaded):
+                raw.append((finding, loaded))
+    for bound in bound_rules:
+        for finding in bound.rule.finalize():
+            raw.append((finding, modules_by_name.get(finding.module)))
+
+    for finding, module in sorted(
+        raw, key=lambda item: (item[0].path, item[0].line, item[0].rule)
+    ):
+        result.all_findings.append(finding)
+        if _is_suppressed(finding, module):
+            result.suppressed_inline += 1
+            continue
+        if baseline.covers(finding):
+            result.baselined += 1
+            continue
+        result.findings.append(finding)
+    result.unused_baseline_entries = baseline.unused_entries()
+    return result

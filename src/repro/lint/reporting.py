@@ -1,0 +1,92 @@
+"""Human and machine-readable rendering of a lint run.
+
+The JSON document is the CI artifact: schema below, asserted by
+``tests/test_lint_engine.py`` and documented in
+``docs/STATIC_ANALYSIS.md``.
+
+.. code-block:: text
+
+    {
+      "version": 1,
+      "tool": "repro.lint",
+      "paths": ["src"],
+      "clean": true,
+      "rules": {"R1": {"name": …, "rationale": …, …}, …},
+      "scopes": {"enclave": ["repro.tee", …], …},
+      "findings": [{rule, severity, path, module, line, column,
+                    message, fingerprint}, …],
+      "summary": {"files_scanned": n, "findings": n, "errors": n,
+                  "suppressed_inline": n, "baselined": n,
+                  "unused_baseline_entries": n,
+                  "by_rule": {…}, "by_severity": {…}}
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .config import LintConfig
+from .engine import LintResult
+from .rules import rule_catalog
+
+REPORT_VERSION = 1
+
+
+def json_report(
+    result: LintResult, config: LintConfig, paths: Sequence[str]
+) -> Dict[str, Any]:
+    """The machine-readable run report (CI artifact)."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro.lint",
+        "paths": list(paths),
+        "clean": result.clean,
+        "rules": rule_catalog(),
+        "scopes": config.scope_map.as_dict(),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+            "suppressed_inline": result.suppressed_inline,
+            "baselined": result.baselined,
+            "unused_baseline_entries": len(result.unused_baseline_entries),
+            "by_rule": result.by_rule(),
+            "by_severity": result.by_severity(),
+        },
+    }
+
+
+def human_report(result: LintResult) -> str:
+    """Terminal rendering: findings first, then a one-screen summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if result.findings:
+        lines.append("")
+    lines.append(
+        f"{result.files_scanned} files scanned, "
+        f"{len(result.findings)} finding(s) "
+        f"({len(result.errors)} error(s)), "
+        f"{result.suppressed_inline} inline-suppressed, "
+        f"{result.baselined} baselined"
+    )
+    if result.unused_baseline_entries:
+        lines.append(
+            f"warning: {len(result.unused_baseline_entries)} stale baseline "
+            "entrie(s) no longer match anything — prune the baseline:"
+        )
+        for entry in result.unused_baseline_entries:
+            lines.append(
+                f"  - {entry.get('rule')} {entry.get('module')}: "
+                f"{entry.get('content')!r}"
+            )
+    by_rule = result.by_rule()
+    if by_rule:
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(f"by rule: {breakdown}")
+    lines.append("clean" if result.clean else "FAILED")
+    return "\n".join(lines)

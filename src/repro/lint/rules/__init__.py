@@ -1,0 +1,152 @@
+"""Rule registry for the domain-aware static analyser.
+
+A rule is a class with a ``rule_id``, a human name, the scopes it
+patrols by default, and a ``check(module)`` hook producing findings.
+Whole-program rules (the lock-order analysis) additionally implement
+``finalize()``, called once after every in-scope module has been fed
+through ``check``.
+
+Registration is explicit (the :func:`register` decorator) so the rule
+set is a reviewable, importable list rather than a filesystem scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Tuple, Type
+
+from ..astutil import ImportTable
+from ..config import LintConfig
+from ..findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, ready for rule checks."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    lines: Tuple[str, ...]
+    tree: ast.Module
+    scopes: "frozenset[str]"
+    imports: ImportTable
+
+    def line_content(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for lint rules; subclasses are registered explicitly."""
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    #: One-line statement of the protocol invariant the rule protects.
+    rationale: ClassVar[str] = ""
+    default_scopes: ClassVar[Tuple[str, ...]] = ()
+    severity: ClassVar[Severity] = Severity.ERROR
+
+    def __init__(self, options: Mapping[str, Any]):
+        self.options: Dict[str, Any] = dict(options)
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    # -- helpers -------------------------------------------------------------
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        severity: "Severity | None" = None,
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.rule_id,
+            severity=severity or self.severity,
+            path=module.display_path,
+            module=module.module,
+            line=lineno,
+            column=column,
+            message=message,
+            line_content=module.line_content(lineno),
+        )
+
+    def option_tuple(self, key: str, default: Iterable[str]) -> Tuple[str, ...]:
+        value = self.options.get(key)
+        if value is None:
+            return tuple(default)
+        return tuple(str(item) for item in value)
+
+
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} lacks a rule_id")
+    if cls.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+@dataclass
+class BoundRule:
+    """A rule instance bound to the scopes it patrols for this run."""
+
+    rule: Rule
+    scopes: Tuple[str, ...]
+
+    def applies_to(self, module_scopes: "frozenset[str]") -> bool:
+        return any(scope in module_scopes for scope in self.scopes)
+
+
+def instantiate_rules(config: LintConfig) -> List[BoundRule]:
+    """Fresh rule instances for one engine run, honouring the config."""
+    bound: List[BoundRule] = []
+    for rule_id in sorted(REGISTRY):
+        if config.enabled_rules is not None and rule_id not in config.enabled_rules:
+            continue
+        options = dict(config.options_for(rule_id))
+        if options.pop("__disabled__", False):
+            continue
+        cls = REGISTRY[rule_id]
+        scopes = config.scopes_for_rule(rule_id, cls.default_scopes)
+        bound.append(BoundRule(rule=cls(options), scopes=scopes))
+    return bound
+
+
+def rule_catalog() -> Dict[str, Dict[str, Any]]:
+    """Machine-readable description of every registered rule."""
+    return {
+        rule_id: {
+            "name": cls.name,
+            "rationale": cls.rationale,
+            "default_scopes": list(cls.default_scopes),
+            "severity": cls.severity.value,
+        }
+        for rule_id, cls in sorted(REGISTRY.items())
+    }
+
+
+def _load_builtin_rules() -> None:
+    # Imported for their registration side effect.
+    from . import crypto_misuse  # noqa: F401
+    from . import determinism  # noqa: F401
+    from . import locks  # noqa: F401
+    from . import purity  # noqa: F401
+    from . import taxonomy  # noqa: F401
+
+
+_load_builtin_rules()

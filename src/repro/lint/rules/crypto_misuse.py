@@ -1,0 +1,215 @@
+"""R3 — crypto misuse.
+
+The attestation and channel layers authenticate everything: quotes bind
+measurements, frames carry HMAC tags, sealed blobs carry digests.  The
+classic ways such code rots:
+
+* ``==`` / ``!=`` on a MAC, digest, signature, measurement or derived
+  key — short-circuiting comparison leaks the matching prefix length
+  through timing; RFC 9257-style misuse.  Use ``hmac.compare_digest``
+  (or a helper built on it, e.g. ``Measurement.matches``).
+* literal keys/nonces/IVs baked into code — a fixed nonce under a
+  stream cipher is a two-time pad.
+* truncating a digest (``.digest()[:8]``) — silently halves collision
+  resistance and breaks interop with full-width verifiers.
+
+Heuristics are name-driven (identifier words like ``tag``, ``digest``,
+``mac``…); size/length/index identifiers are exempt so ``TAG_SIZE``
+comparisons stay quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from ..astutil import identifier_parts, is_constant_bytes_like, terminal_identifier
+from ..findings import Finding
+from . import ModuleInfo, Rule, register
+
+#: Identifier words that mark a value as a secret-bearing digest/MAC.
+SENSITIVE_PARTS: Tuple[str, ...] = (
+    "tag",
+    "digest",
+    "mac",
+    "hmac",
+    "signature",
+    "sig",
+    "measurement",
+    "report",
+    "key",
+)
+
+#: Identifier words that mark a value as a *property* of a digest (its
+#: size, an index…), not the digest itself.
+EXEMPT_PARTS: Tuple[str, ...] = (
+    "size",
+    "len",
+    "length",
+    "count",
+    "num",
+    "idx",
+    "index",
+    "seq",
+    "offset",
+    "overhead",
+    "bytes",
+)
+
+#: Keyword-argument names that must never receive literal secrets.
+LITERAL_SECRET_KWARGS: Tuple[str, ...] = ("key", "nonce", "iv")
+
+
+def _sensitive_identifier(
+    node: ast.AST, sensitive: Tuple[str, ...], exempt: Tuple[str, ...]
+) -> "str | None":
+    identifier = terminal_identifier(node)
+    if identifier is None:
+        return None
+    parts = identifier_parts(identifier)
+    if parts & set(exempt):
+        return None
+    if parts & set(sensitive):
+        return identifier
+    return None
+
+
+@register
+class CryptoMisuseRule(Rule):
+    rule_id = "R3"
+    name = "crypto-misuse"
+    rationale = (
+        "authenticity checks must be constant-time and keys/nonces "
+        "unique: variable-time compares, literal secrets and truncated "
+        "digests silently weaken the attested trust chain"
+    )
+    default_scopes = ("crypto", "tee")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        sensitive = self.option_tuple("sensitive_parts", SENSITIVE_PARTS)
+        exempt = self.option_tuple("exempt_parts", EXEMPT_PARTS)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                findings.extend(
+                    self._check_compare(module, node, sensitive, exempt)
+                )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_literal_secret(module, node))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                findings.extend(
+                    self._check_literal_assignment(module, node)
+                )
+            elif isinstance(node, ast.Subscript):
+                findings.extend(self._check_truncation(module, node))
+        return findings
+
+    # -- constant-time comparison --------------------------------------------
+
+    def _check_compare(
+        self,
+        module: ModuleInfo,
+        node: ast.Compare,
+        sensitive: Tuple[str, ...],
+        exempt: Tuple[str, ...],
+    ) -> Iterable[Finding]:
+        if len(node.ops) != 1 or not isinstance(
+            node.ops[0], (ast.Eq, ast.NotEq)
+        ):
+            return ()
+        operands = (node.left, node.comparators[0])
+        # ``x == None``-style comparisons are identity checks, not MAC
+        # verification; stay quiet.
+        if any(
+            isinstance(op, ast.Constant) and op.value is None
+            for op in operands
+        ):
+            return ()
+        for operand in operands:
+            identifier = _sensitive_identifier(operand, sensitive, exempt)
+            if identifier is not None:
+                op = "==" if isinstance(node.ops[0], ast.Eq) else "!="
+                return (
+                    self.finding(
+                        module,
+                        node,
+                        f"{op} on {identifier!r} is a variable-time "
+                        "comparison that leaks the matching prefix; use "
+                        "hmac.compare_digest (or a constant-time helper)",
+                    ),
+                )
+        return ()
+
+    # -- literal keys / nonces ------------------------------------------------
+
+    def _check_literal_secret(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterable[Finding]:
+        findings = []
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            parts = identifier_parts(keyword.arg)
+            if not parts & set(LITERAL_SECRET_KWARGS):
+                continue
+            if is_constant_bytes_like(keyword.value):
+                findings.append(
+                    self.finding(
+                        module,
+                        keyword.value,
+                        f"literal {keyword.arg!r} argument: keys and "
+                        "nonces must be drawn from the DRBG or derived "
+                        "per session, never baked into code",
+                    )
+                )
+        return findings
+
+    def _check_literal_assignment(
+        self, module: ModuleInfo, node: "ast.Assign | ast.AnnAssign"
+    ) -> Iterable[Finding]:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        value = node.value
+        if value is None or not is_constant_bytes_like(value):
+            return ()
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            parts = identifier_parts(target.id)
+            if parts & set(EXEMPT_PARTS):
+                continue
+            if parts & set(LITERAL_SECRET_KWARGS):
+                return (
+                    self.finding(
+                        module,
+                        node,
+                        f"literal secret assigned to {target.id!r}: keys "
+                        "and nonces must come from the DRBG or key "
+                        "derivation, not source code",
+                    ),
+                )
+        return ()
+
+    # -- digest truncation -----------------------------------------------------
+
+    def _check_truncation(
+        self, module: ModuleInfo, node: ast.Subscript
+    ) -> Iterable[Finding]:
+        if not isinstance(node.slice, ast.Slice):
+            return ()
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("digest", "hexdigest")
+        ):
+            return (
+                self.finding(
+                    module,
+                    node,
+                    "slicing a digest truncates its security level; "
+                    "compare and store full-width digests",
+                ),
+            )
+        return ()

@@ -1,0 +1,145 @@
+"""R1 — enclave purity.
+
+GenDPR's trust argument (Pascoal et al., Middleware '22, §5) rests on
+the attested trusted module doing *only* what the protocol allows: no
+genome data leaves a GDO except as TEE↔TEE ciphertext, and every
+decision must replay bit-identically from the study seed.  Code in the
+"enclave" scope therefore may not reach for ambient nondeterminism or
+ambient I/O — wall clocks, the global ``random`` generator, OS entropy,
+files, sockets or stdout.  Randomness must come from the seeded
+:mod:`repro.crypto.rng` DRBG and persistence from the sealed-storage
+API, both of which are replayable and attested.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from ..astutil import call_name
+from ..findings import Finding
+from . import ModuleInfo, Rule, register
+
+#: Calls that are forbidden inside the enclave scope, post alias
+#: resolution.  Exact dotted names.
+BANNED_CALLS: Tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.sleep",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getenv",
+    "os.getrandom",
+    "open",
+    "print",
+    "input",
+    "breakpoint",
+    "exec",
+    "eval",
+)
+
+#: Modules that must not even be imported by enclave code: each one is
+#: an ambient-nondeterminism or I/O capability.
+BANNED_MODULES: Tuple[str, ...] = (
+    "random",
+    "secrets",
+    "socket",
+    "subprocess",
+    "uuid",
+    "urllib",
+    "http",
+    "requests",
+)
+
+#: Sanctioned exceptions: monotonic *metering* clocks (they feed the
+#: resource reports, never protocol decisions) and the seeded DRBG.
+DEFAULT_ALLOW: Tuple[str, ...] = (
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "repro.crypto.rng",
+)
+
+
+@register
+class EnclavePurityRule(Rule):
+    rule_id = "R1"
+    name = "enclave-purity"
+    rationale = (
+        "attested enclave code must be replayable and side-effect free: "
+        "no ambient clocks, OS entropy, files, sockets or stdout"
+    )
+    default_scopes = ("enclave",)
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        allow = self.option_tuple("allow", DEFAULT_ALLOW)
+        banned_calls = self.option_tuple("banned_calls", BANNED_CALLS)
+        banned_modules = self.option_tuple("banned_modules", BANNED_MODULES)
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in banned_modules:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"enclave scope imports {alias.name!r}: "
+                                "ambient nondeterminism/I-O is forbidden "
+                                "inside the trust boundary",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    root = node.module.split(".")[0]
+                    if root in banned_modules:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"enclave scope imports from {node.module!r}: "
+                                "ambient nondeterminism/I-O is forbidden "
+                                "inside the trust boundary",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                resolved = call_name(node, module.imports)
+                if resolved is None:
+                    continue
+                if self._allowed(resolved, allow):
+                    continue
+                if resolved in banned_calls:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"enclave scope calls {resolved!r}; use the "
+                            "seeded repro.crypto.rng DRBG / sealed storage "
+                            "instead of ambient clocks, entropy or I/O",
+                        )
+                    )
+                elif resolved.split(".")[0] in banned_modules:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"enclave scope calls {resolved!r} from a "
+                            "banned module; enclave randomness must come "
+                            "from repro.crypto.rng",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _allowed(resolved: str, allow: Tuple[str, ...]) -> bool:
+        for entry in allow:
+            if resolved == entry or resolved.startswith(entry + "."):
+                return True
+        return False

@@ -1,0 +1,109 @@
+"""R5 — error taxonomy.
+
+The supervised runtime (PR 3) classifies every failure: chaos runs must
+end either bit-identical to the fault-free reference or with a
+*classified* :class:`~repro.errors.ReproError` subclass, and the CLI
+catches exactly that base type at its boundary.  A stray ``ValueError``
+in protocol, network or TEE code escapes both nets — the supervisor
+would misfile it as an infrastructure bug and the chaos suite would
+count it as an unclassified abort.  Every ``raise`` in the scoped
+packages must therefore use a :mod:`repro.errors` class (or a local
+subclass of one).
+
+Re-raises (``raise``, ``raise exc``) and exceptions whose origin the
+analysis cannot see (callables passed in, attribute lookups outside
+``repro.errors``) are left alone: the rule only flags what it can
+prove — direct constructions of builtin exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, List, Set, Tuple
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from . import ModuleInfo, Rule, register
+
+#: Names of every builtin exception type, computed once.
+BUILTIN_EXCEPTIONS: "frozenset[str]" = frozenset(
+    name
+    for name, value in vars(builtins).items()
+    if isinstance(value, type) and issubclass(value, BaseException)
+)
+
+
+def _errors_module_imports(module: ModuleInfo) -> Set[str]:
+    """Local names bound to classes from a ``…errors`` module."""
+    allowed: Set[str] = set()
+    for alias, target in module.imports.aliases.items():
+        # "repro.errors.ProtocolError", "errors.ProtocolError" …
+        head, _, _leaf = target.rpartition(".")
+        if head.endswith("errors") or head == "errors":
+            allowed.add(alias)
+    return allowed
+
+
+def _local_subclasses(module: ModuleInfo, allowed: Set[str]) -> Set[str]:
+    """Classes defined here whose bases chain back to an allowed name."""
+    grown = set(allowed)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.name in grown:
+                continue
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is None:
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                if name in grown or leaf in grown:
+                    grown.add(node.name)
+                    changed = True
+                    break
+    return grown
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    rule_id = "R5"
+    name = "error-taxonomy"
+    rationale = (
+        "supervisor failure classification is total only if every "
+        "protocol/net/TEE raise is a repro.errors subclass"
+    )
+    default_scopes = ("protocol", "net", "tee")
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        allow_names: Tuple[str, ...] = self.option_tuple("allow", ())
+        allowed = _errors_module_imports(module)
+        allowed |= set(allow_names)
+        allowed = _local_subclasses(module, allowed)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue  # bare/re-raise of a bound exception object
+            name = dotted_name(exc.func)
+            if name is None:
+                continue
+            if name in allowed:
+                continue
+            resolved = module.imports.resolve(name)
+            if ".errors." in resolved or resolved.startswith("errors."):
+                continue
+            if name in BUILTIN_EXCEPTIONS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"raise of builtin {name!r} escapes the repro "
+                        "error taxonomy; raise a repro.errors subclass "
+                        "so supervisor classification stays total",
+                    )
+                )
+        return findings

@@ -15,7 +15,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..errors import ObservabilityError
 from .export import render_span_tree, span_from_dict, span_to_dict

@@ -33,19 +33,19 @@ from .lr_test import (
     select_safe_subset,
 )
 from .maf import aggregate_counts, allele_frequencies, folded_maf, maf_filter
-from .utility import (
-    UtilityReport,
-    retention_rate,
-    significance_mass_retained,
-    top_k_recall,
-    utility_report,
-)
 from .power import (
     LrMoments,
     analytical_power,
     lr_moments,
     power_curve,
     select_safe_subset_analytical,
+)
+from .utility import (
+    UtilityReport,
+    retention_rate,
+    significance_mass_retained,
+    top_k_recall,
+    utility_report,
 )
 
 __all__ = [

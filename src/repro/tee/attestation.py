@@ -152,7 +152,7 @@ class AttestationService:
             signer.verify(quote.signed_payload(), quote.signature)
         except AuthenticationError as exc:
             raise AttestationError("quote signature verification failed") from exc
-        if quote.measurement != expected:
+        if not quote.measurement.matches(expected):
             raise AttestationError(
                 "measurement mismatch: enclave is not running the expected "
                 f"trusted code (got {quote.measurement!r})"

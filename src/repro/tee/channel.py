@@ -19,6 +19,7 @@ frames are rejected.
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -87,7 +88,7 @@ def _verify_offer(
     expected_report = pack_report_data(
         message.enclave_id.encode("utf-8"), public_bytes, message.nonce
     )
-    if message.quote.report_data != expected_report:
+    if not hmac.compare_digest(message.quote.report_data, expected_report):
         raise AttestationError(
             "quote report data does not bind the handshake parameters"
         )
@@ -174,7 +175,7 @@ def establish_channel(
     Returns ``(endpoint_a, endpoint_b, handshake_bytes)`` where the last
     element is the handshake traffic volume for bandwidth accounting.
     """
-    if enclave_a.measurement != enclave_b.measurement:
+    if not enclave_a.measurement.matches(enclave_b.measurement):
         raise AttestationError(
             "enclaves run different trusted code; refusing to pair"
         )
@@ -196,7 +197,9 @@ def establish_channel(
     )
     key_a = dh.derive_channel_key(keypair_a, offer_b.dh_public, context=context)
     key_b = dh.derive_channel_key(keypair_b, offer_a.dh_public, context=context)
-    if key_a != key_b:  # defensive: cannot happen if DH math is correct
+    # Defensive: cannot happen if DH math is correct; constant-time
+    # because the operands are secret channel keys.
+    if not hmac.compare_digest(key_a, key_b):
         raise ChannelError("key agreement mismatch")
 
     endpoint_a = ChannelEndpoint(offer_a.enclave_id, offer_b.enclave_id, key_a)

@@ -11,9 +11,12 @@ changes it and breaks attestation.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import inspect
 from dataclasses import dataclass
 from typing import Type
+
+from ..errors import MeasurementError
 
 MEASUREMENT_SIZE = 32
 
@@ -26,10 +29,17 @@ class Measurement:
 
     def __post_init__(self) -> None:
         if len(self.value) != MEASUREMENT_SIZE:
-            raise ValueError(f"measurement must be {MEASUREMENT_SIZE} bytes")
+            raise MeasurementError(
+                f"measurement must be {MEASUREMENT_SIZE} bytes"
+            )
 
     def hex(self) -> str:
         return self.value.hex()
+
+    def matches(self, other: "Measurement") -> bool:
+        """Constant-time identity check (use instead of ``==`` in
+        attestation paths, where the comparison gates trust)."""
+        return hmac.compare_digest(self.value, other.value)
 
     def __repr__(self) -> str:  # short form keeps logs readable
         return f"Measurement({self.value.hex()[:12]}…)"

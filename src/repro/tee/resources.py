@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from ..errors import ResourceError
 from ..obs.tracer import TRACER
 
 #: Fixed overhead modelling Gramine + enclave runtime pages (bytes).
@@ -80,7 +81,7 @@ class ResourceMeter:
     def register_buffer(self, name: str, num_bytes: int) -> None:
         """Record (or resize) a named trusted buffer."""
         if num_bytes < 0:
-            raise ValueError("buffer size must be non-negative")
+            raise ResourceError("buffer size must be non-negative")
         self._buffers[name] = num_bytes
         current = self.current_memory_bytes
         if current > self._peak_memory:

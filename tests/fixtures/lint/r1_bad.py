@@ -1,0 +1,16 @@
+"""R1 fixture — enclave-scope module full of ambient-I/O violations."""
+
+import os
+import random  # R1: banned module import
+import socket  # R1: banned module import
+import time
+
+
+def leaky_phase(data):
+    stamp = time.time()  # R1: wall clock
+    print("phase done", stamp)  # R1: stdout
+    noise = random.random()  # R1: global RNG call
+    seed = os.urandom(8)  # R1: OS entropy
+    with open("/tmp/out.bin", "wb") as handle:  # R1: ambient file I/O
+        handle.write(seed)
+    return data, noise, socket.gethostname()  # R1: socket call

@@ -1,0 +1,13 @@
+"""R1 fixture — enclave-scope module using only sanctioned APIs."""
+
+import time
+
+from repro.crypto.rng import DeterministicRng
+
+
+def pure_phase(data, meter):
+    begin = time.perf_counter()  # sanctioned: monotonic metering clock
+    rng = DeterministicRng(b"study-seed")  # sanctioned: seeded DRBG
+    mask = rng.bytes(len(data))
+    elapsed = time.perf_counter() - begin
+    return bytes(a ^ b for a, b in zip(data, mask)), elapsed

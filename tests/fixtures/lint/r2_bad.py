@@ -1,0 +1,15 @@
+"""R2 fixture — protocol-scope determinism violations."""
+
+import random
+import time
+
+
+def decide(candidates, published):
+    order = list(set(candidates))  # R2: set order frozen into a list
+    for snp in {3, 1, 2}:  # R2: loop over a bare set literal
+        order.append(snp)
+    labels = [str(s) for s in set(published)]  # R2: comprehension over set
+    cache_key = id(candidates)  # R2: id()-keyed decision
+    deadline = time.time()  # R2: wall clock in protocol logic
+    jitter = random.choice(order)  # R2: global Mersenne Twister
+    return order, labels, cache_key, deadline, jitter

@@ -1,0 +1,14 @@
+"""R2 fixture — protocol-scope code with deterministic orderings."""
+
+import time
+
+
+def decide(candidates, published, network):
+    order = sorted(set(candidates))  # sorted() pins the order
+    for snp in sorted({3, 1, 2}):
+        order.append(snp)
+    labels = [str(s) for s in sorted(set(published))]
+    survivors = {s for s in set(candidates)}  # set -> set stays unordered
+    begin = time.perf_counter()  # metering clock is allowed
+    deadline = network.simulated_time + 1.0  # simulated clock for decisions
+    return order, labels, survivors, deadline, time.perf_counter() - begin

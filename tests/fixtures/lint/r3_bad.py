@@ -1,0 +1,23 @@
+"""R3 fixture — crypto-scope misuse: variable-time compares, literal
+secrets, digest truncation."""
+
+import hashlib
+
+SESSION_KEY = b"0123456789abcdef"  # R3: literal key material
+
+
+def verify_frame(frame_tag, expected_tag, stored_digest, payload):
+    if frame_tag == expected_tag:  # R3: variable-time tag compare
+        return True
+    if stored_digest != hashlib.sha256(payload).digest():  # R3: digest !=
+        return False
+    return None
+
+
+def weak_fingerprint(payload):
+    return hashlib.sha256(payload).digest()[:8]  # R3: digest truncation
+
+
+def encrypt(cipher_cls, payload):
+    cipher = cipher_cls(key=b"k" * 32, nonce=b"\x00" * 16)  # R3: literals
+    return cipher.encrypt(payload)

@@ -1,0 +1,20 @@
+"""R3 fixture — crypto-scope code doing authentication properly."""
+
+import hashlib
+import hmac
+
+TAG_SIZE = 32
+
+
+def verify_frame(frame_tag, expected_tag, stored_digest, payload):
+    if len(frame_tag) != TAG_SIZE:  # size compare: exempt
+        return False
+    if not hmac.compare_digest(frame_tag, expected_tag):  # constant time
+        return False
+    computed = hashlib.sha256(payload).digest()  # full-width digest
+    return hmac.compare_digest(stored_digest, computed)
+
+
+def encrypt(cipher_cls, rng, payload):
+    cipher = cipher_cls(key=rng.bytes(32), nonce=rng.bytes(16))
+    return cipher.encrypt(payload)

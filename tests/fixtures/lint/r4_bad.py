@@ -1,0 +1,25 @@
+"""R4 fixture — inconsistent lock acquisition orders (cycle) plus a
+self-deadlocking nested acquisition."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # alpha -> beta
+                return 1
+
+    def backward(self):
+        with self._beta_lock:
+            with self._alpha_lock:  # beta -> alpha: closes the cycle
+                return 2
+
+    def stuck(self):
+        with self._alpha_lock:
+            with self._alpha_lock:  # immediate self-deadlock
+                return 3

@@ -1,0 +1,23 @@
+"""R4 fixture — every thread takes locks in one global order."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # alpha -> beta
+                return 1
+
+    def also_forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # same order: no cycle
+                return 2
+
+    def independent(self):
+        with self._beta_lock:  # no nesting: no edge
+            return 3

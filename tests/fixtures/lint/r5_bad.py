@@ -1,0 +1,9 @@
+"""R5 fixture — protocol-scope raises outside the repro error taxonomy."""
+
+
+def validate(threshold):
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")  # R5
+    if threshold > 1:
+        raise RuntimeError("threshold out of range")  # R5
+    return threshold

@@ -1,0 +1,18 @@
+"""R5 fixture — protocol-scope raises stay inside the taxonomy."""
+
+from repro.errors import ConfigError, ProtocolError
+
+
+class PhaseBudgetError(ProtocolError):
+    """Local subclass: still classified (transitively a ReproError)."""
+
+
+def validate(threshold, budget):
+    if threshold < 0:
+        raise ConfigError("threshold must be non-negative")
+    if budget <= 0:
+        raise PhaseBudgetError("phase budget exhausted")
+    try:
+        return threshold / budget
+    except ZeroDivisionError as exc:
+        raise exc  # re-raise of a bound exception: not flagged

@@ -1,0 +1,13 @@
+"""Inline-suppression fixture: violations acknowledged in place."""
+
+import time
+
+
+def checkpoint_label(counter):
+    stamp = time.time()  # lint: disable=R2  debugging label, not a decision
+    frozen = list({counter, 2, 3})  # lint: disable
+    return stamp, frozen
+
+
+def still_flagged(counter):
+    return id(counter)  # no suppression comment: must still fire

@@ -1,0 +1,4 @@
+"""Deliberately unparsable fixture (engine must report, not crash)."""
+
+def broken(:
+    return 1

@@ -11,9 +11,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import StudyConfig, partition_cohort
+from repro import partition_cohort
 from repro.core.federation import build_federation
 from repro.core.protocol import GenDPRProtocol
+from repro.crypto.signing import MacSigner
 from repro.errors import (
     ChannelError,
     DataIntegrityError,
@@ -22,7 +23,6 @@ from repro.errors import (
     SealingError,
 )
 from repro.genomics import GenotypeMatrix, SignedMatrix
-from repro.crypto.signing import MacSigner
 from repro.net import Envelope
 from repro.tee.sealing import SealedBlob
 from repro.tee.storage import SealedColumnStore

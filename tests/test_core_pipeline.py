@@ -5,14 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError
-from repro.stats.ld import PairMoments
 from repro.core.pipeline import (
     ld_prune,
     lr_ranking_order,
     matrix_moment_source,
     run_local_pipeline,
 )
+from repro.errors import ProtocolError
+from repro.stats.ld import PairMoments
 
 
 class TestLdPrune:

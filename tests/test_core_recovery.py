@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import StudyConfig, partition_cohort
+from repro import partition_cohort
 from repro.core.enclave_logic import GenDPREnclave
 from repro.core.federation import build_federation
 from repro.core.protocol import GenDPRProtocol

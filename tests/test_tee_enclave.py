@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import EnclaveCrashedError, EnclaveViolationError, TEEError
+from repro.errors import (
+    EnclaveCrashedError,
+    EnclaveViolationError,
+    MeasurementError,
+    TEEError,
+)
 from repro.tee.enclave import Enclave, ecall, expected_measurement, guarded
 from repro.tee.measurement import (
     MEASUREMENT_SIZE,
@@ -61,8 +66,12 @@ class TestMeasurement:
         assert measure_blob(b"code", "1") != measure_blob(b"code", "2")
 
     def test_bad_measurement_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(MeasurementError):
             Measurement(b"short")
+
+    def test_matches_is_constant_time_equality(self):
+        assert measure_blob(b"code").matches(measure_blob(b"code"))
+        assert not measure_blob(b"code").matches(measure_blob(b"tampered"))
 
     def test_expected_measurement_matches_instance(self):
         enclave = CounterEnclave()

@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro.errors import ResourceError
 from repro.tee.resources import (
     BASELINE_MEMORY_BYTES,
     ResourceMeter,
@@ -43,7 +44,7 @@ class TestResourceMeter:
         assert report.current_memory_bytes == BASELINE_MEMORY_BYTES + 10
 
     def test_negative_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ResourceError):
             ResourceMeter().register_buffer("x", -1)
 
     def test_measure_accumulates_by_label(self):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import AttestationError, SealingError, TEEError
+from repro.errors import AttestationError, SealingError
 from repro.tee.attestation import (
     REPORT_DATA_SIZE,
     AttestationService,
