@@ -27,6 +27,7 @@ Subpackages: :mod:`repro.crypto`, :mod:`repro.tee`, :mod:`repro.net`,
 from .config import (
     CollusionPolicy,
     FaultConfig,
+    IntegrityConfig,
     NetworkProfile,
     ObservabilityConfig,
     PrivacyThresholds,
@@ -60,6 +61,7 @@ __version__ = "1.2.0"
 __all__ = [
     "CollusionPolicy",
     "FaultConfig",
+    "IntegrityConfig",
     "ResilienceConfig",
     "NetworkProfile",
     "ObservabilityConfig",

@@ -34,6 +34,7 @@ import numpy as np
 from .attacks import evaluate_attack
 from .config import (
     CollusionPolicy,
+    IntegrityConfig,
     ObservabilityConfig,
     PrivacyThresholds,
     StudyConfig,
@@ -109,6 +110,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         study_id=args.study_id,
         observability=(
             ObservabilityConfig.tracing() if observe else ObservabilityConfig.off()
+        ),
+        integrity=(
+            IntegrityConfig.on() if args.integrity else IntegrityConfig.off()
         ),
     )
     result = run_study(cohort, config, args.members)
@@ -238,6 +242,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         help="write the machine-readable RunReport JSON to this path",
     )
+    run.add_argument(
+        "--integrity",
+        action="store_true",
+        help="enable Byzantine-integrity checks: broadcast-consistency "
+        "echo, channel-transcript cross-checks and checkpoint freshness "
+        "(docs/RESILIENCE.md)",
+    )
     run.set_defaults(func=_cmd_run)
 
     report = subparsers.add_parser(
@@ -281,6 +292,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        failure = getattr(exc, "report", None)
+        if failure is not None and hasattr(failure, "to_dict"):
+            # Classified aborts carry a FailureReport; surface it as
+            # JSON so operators (and CI) can triage without a debugger.
+            print(
+                json.dumps(failure.to_dict(), indent=2, default=str),
+                file=sys.stderr,
+            )
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

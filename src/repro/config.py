@@ -184,6 +184,25 @@ class FaultConfig:
             corrupted because the leader enclave opens them inside a
             phase ECALL where transport-level retransmission cannot
             intervene (the AEAD check still rejects such a frame).
+        replay_rate: probability an envelope is delivered together with
+            a re-send of an earlier *valid* frame on the same link — a
+            Byzantine host replaying authenticated traffic (absorbed by
+            receiver-side dedup, rejected by channel sequencing).
+        withhold_rate: probability an envelope is selectively withheld
+            (a targeted Byzantine drop; see ``withhold_target``).
+        withhold_target: restrict withholding to envelopes touching this
+            node (empty: any link), modelling an adversary steering one
+            member toward eviction.
+        equivocate_rate: probability (per broadcast recipient, per
+            attempt) that a compromised leader-side trusted module sends
+            that recipient a divergent broadcast body — the attack the
+            broadcast-consistency echo round exists to catch.
+        checkpoint_tamper: ``""`` (off), ``"stale"`` (one failover
+            restore is served the *oldest* sealed checkpoint — a
+            rollback replay, rejected via the platform counter),
+            ``"stale_persistent"`` (every restore is served the oldest
+            blob) or ``"corrupt"`` (every restore is served a
+            bit-flipped blob, which fails unsealing closed).
         crash_points: ``(enclave_id, ecall_index)`` pairs — tear the
             enclave down immediately before its N-th ECALL dispatched
             through the untrusted proxy (1-based).
@@ -199,11 +218,24 @@ class FaultConfig:
     duplicate_rate: float = 0.0
     delay_rate: float = 0.0
     corrupt_rate: float = 0.0
+    replay_rate: float = 0.0
+    withhold_rate: float = 0.0
+    withhold_target: str = ""
+    equivocate_rate: float = 0.0
+    checkpoint_tamper: str = ""
     crash_points: Tuple[Tuple[str, int], ...] = ()
     partition_windows: Tuple[Tuple[str, int, int], ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "duplicate_rate", "delay_rate", "corrupt_rate"):
+        for name in (
+            "drop_rate",
+            "duplicate_rate",
+            "delay_rate",
+            "corrupt_rate",
+            "replay_rate",
+            "withhold_rate",
+            "equivocate_rate",
+        ):
             rate = getattr(self, name)
             _require(0.0 <= rate <= 1.0, f"{name} must be in [0, 1]")
         _require(
@@ -211,8 +243,15 @@ class FaultConfig:
             + self.duplicate_rate
             + self.delay_rate
             + self.corrupt_rate
+            + self.replay_rate
+            + self.withhold_rate
             <= 1.0,
             "fault rates must sum to at most 1",
+        )
+        _require(
+            self.checkpoint_tamper in ("", "stale", "stale_persistent", "corrupt"),
+            "checkpoint_tamper must be '', 'stale', 'stale_persistent' "
+            "or 'corrupt'",
         )
         for enclave_id, index in self.crash_points:
             _require(bool(enclave_id), "crash point needs an enclave id")
@@ -242,6 +281,37 @@ class FaultConfig:
             duplicate_rate=share,
             delay_rate=share,
             corrupt_rate=share,
+        )
+
+    @classmethod
+    def byzantine(
+        cls,
+        seed: int,
+        *,
+        intensity: float = 0.1,
+        equivocate_rate: float = 0.0,
+        withhold_target: str = "",
+        checkpoint_tamper: str = "",
+        crash_points: Tuple[Tuple[str, int], ...] = (),
+    ) -> "FaultConfig":
+        """An adversarial profile: replay + targeted withholding.
+
+        ``intensity`` is split evenly between REPLAY and WITHHOLD;
+        equivocation and checkpoint tampering are opt-in because they
+        model a compromised trusted module / storage host rather than
+        the network.
+        """
+        _require(0.0 <= intensity <= 1.0, "intensity must be in [0, 1]")
+        share = intensity / 2.0
+        return cls(
+            enabled=True,
+            seed=seed,
+            replay_rate=share,
+            withhold_rate=share,
+            withhold_target=withhold_target,
+            equivocate_rate=equivocate_rate,
+            checkpoint_tamper=checkpoint_tamper,
+            crash_points=crash_points,
         )
 
 
@@ -304,6 +374,32 @@ class ResilienceConfig:
             backoff_factor=backoff_factor,
             max_failovers=max_failovers,
         )
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Byzantine-integrity verification switches.
+
+    Disabled by default: the channel transcripts and checkpoint epochs
+    are always maintained (they cost one running digest update per frame
+    and eight authenticated bytes per checkpoint), but the *verification
+    rounds* — the broadcast-consistency echo after each leader broadcast
+    and the transcript cross-check at phase boundaries — only run when
+    enabled, so the default wire traffic is unchanged.
+
+    Attributes:
+        enabled: run the echo and transcript verification rounds.
+    """
+
+    enabled: bool = False
+
+    @classmethod
+    def off(cls) -> "IntegrityConfig":
+        return cls()
+
+    @classmethod
+    def on(cls) -> "IntegrityConfig":
+        return cls(enabled=True)
 
 
 @dataclass(frozen=True)
@@ -374,6 +470,10 @@ class StudyConfig:
             changes an outcome (enforced by the chaos suite).
         resilience: retry/backoff/failover runtime knobs; excluded from
             the fingerprint for the same reason.
+        integrity: Byzantine verification rounds (echo + transcript
+            cross-checks); excluded from the fingerprint — verification
+            either confirms the fault-free outcome or aborts, it never
+            changes one.
     """
 
     snp_count: int
@@ -387,6 +487,7 @@ class StudyConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
     def __post_init__(self) -> None:
         _require(self.snp_count > 0, "snp_count must be positive")

@@ -21,6 +21,7 @@ from .dp import LaplaceMechanism, epsilon_for_frequency_error
 from .dynamic import DynamicStudy, EpochReport
 from .enclave_logic import GenDPREnclave
 from .federation import Federation, GdoHost, build_federation
+from .integrity import IntegrityMonitor
 from .interdependent import (
     InterdependentAssessment,
     assess_interdependent_release,
@@ -58,6 +59,7 @@ __all__ = [
     "GenDPREnclave",
     "Federation",
     "GdoHost",
+    "IntegrityMonitor",
     "build_federation",
     "elect_leader",
     "NaiveResult",

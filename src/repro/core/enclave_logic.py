@@ -39,13 +39,24 @@ release is also safe against purely external adversaries.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..crypto.kdf import derive_subkey
 from ..crypto.signing import MacSigner
-from ..errors import PhaseOrderError, ProtocolError, TEEError
+from ..errors import (
+    ChannelError,
+    EquivocationError,
+    PhaseOrderError,
+    ProtocolError,
+    StaleCheckpointError,
+    TEEError,
+    TranscriptDivergenceError,
+)
 from ..genomics.vcf import SignedMatrix, SignedVcf
 from ..net import serialization
 from ..stats import chisq, ld, lr_test, maf
@@ -117,6 +128,22 @@ class GenDPREnclave(Enclave):
         self._received_retained: Dict[str, List[int]] = {}
         # Outbound payload audit trail (kind, peer, bytes, genotype_rows).
         self._audit_log: List[Dict[str, Any]] = []
+        # Broadcast-consistency state: digest of the canonical broadcast
+        # payload per stage (leader records at send, members at ingest),
+        # signed during the echo round with a key every enclave derives
+        # from the study's data-authenticity root.
+        self._echo_signer = MacSigner(
+            derive_subkey(data_auth_key, "broadcast-echo"),
+            purpose="broadcast-echo",
+        )
+        self._broadcast_digests: Dict[str, bytes] = {}
+        # Checkpoint-freshness counter (leader only; installed at build
+        # time from the hosting platform, like channels).
+        self._rollback_counter = None
+        # Simulation hook: a compromised-broadcaster adversary the chaos
+        # tier installs to make the leader equivocate (never installed
+        # in production configurations).
+        self._equivocation_adversary = None
 
     # ------------------------------------------------------------------
     # Trusted provisioning (attestation-time, not host-callable ECALLs)
@@ -134,13 +161,33 @@ class GenDPREnclave(Enclave):
             raise TEEError("endpoint does not belong to this enclave")
         self._channels[endpoint.peer_id] = endpoint
 
+    def install_rollback_counter(self, counter) -> None:
+        """Bind the platform's monotonic counter for checkpoint epochs.
+
+        Provisioning-time, like :meth:`install_channel`: the counter is
+        platform state (it survives enclave teardown), so a replacement
+        enclave on the same platform sees its predecessor's advances —
+        which is exactly what defeats checkpoint rollback.
+        """
+        self._rollback_counter = counter
+
+    def install_equivocation_adversary(self, adversary) -> None:
+        """Install the chaos tier's compromised-broadcaster hook.
+
+        Simulation-only: models a leader whose broadcast path is under
+        adversarial control, to exercise the echo-round detection.
+        """
+        self._equivocation_adversary = adversary
+
     @classmethod
     def trusted_state_names(cls) -> set:
         return super().trusted_state_names() | {
             "_channels",
             "_data_signer",
+            "_echo_signer",
             "_member_counts",
             "_member_pair_moments",
+            "_rollback_counter",
         }
 
     # ------------------------------------------------------------------
@@ -417,6 +464,7 @@ class GenDPREnclave(Enclave):
             raise ProtocolError(f"unknown broadcast stage {stage!r}")
         snps = [int(s) for s in payload["snps"]]
         self._received_retained[stage] = snps
+        self._broadcast_digests[stage] = self._broadcast_digest(stage, snps)
         return {"stage": stage, "snps": snps}
 
     @ecall
@@ -525,12 +573,187 @@ class GenDPREnclave(Enclave):
         self._require_leader()
         if stage not in self._retained:
             raise PhaseOrderError(f"stage {stage!r} not computed yet")
-        payload = {"stage": stage, "snps": list(self._retained[stage])}
-        frames = {
-            member: self._protect(member, "retained", payload)
-            for member in self._other_members()
-        }
+        snps = [int(s) for s in self._retained[stage]]
+        # The digest the echo round will attest is always that of the
+        # honest payload: a compromised broadcast path (the adversary
+        # hook below) mutates what individual members receive, which is
+        # exactly what the digest comparison then exposes.
+        self._broadcast_digests[stage] = self._broadcast_digest(stage, snps)
+        frames = {}
+        for member in self._other_members():
+            member_snps = snps
+            if self._equivocation_adversary is not None:
+                member_snps = self._equivocation_adversary.mutate(
+                    stage, member, snps
+                )
+            frames[member] = self._protect(
+                member, "retained", {"stage": stage, "snps": list(member_snps)}
+            )
         ocall("retained", frames)
+
+    # ------------------------------------------------------------------
+    # Broadcast-consistency echo + transcript attestation (integrity)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _broadcast_digest(stage: str, snps: List[int]) -> bytes:
+        """Canonical digest of a broadcast payload (what the echo signs)."""
+        return hashlib.sha256(
+            serialization.encode({"stage": stage, "snps": snps})
+        ).digest()
+
+    @ecall
+    def export_broadcast_echo(self, stage: str) -> bytes:
+        """Signed record of the broadcast digest this enclave holds.
+
+        The record binds ``(study, stage, node, digest)`` under a MAC
+        key every enclave derives from the study's data-authenticity
+        root, so the untrusted hosts relaying echoes cannot forge or
+        splice them.
+        """
+        config = self._config()
+        if stage not in self._broadcast_digests:
+            raise PhaseOrderError(f"no {stage!r} broadcast digest held yet")
+        record = serialization.encode(
+            {
+                "study": config["study_id"],
+                "stage": stage,
+                "node": self.enclave_id,
+                "digest": self._broadcast_digests[stage],
+            }
+        )
+        return serialization.encode(
+            {"record": record, "sig": self._echo_signer.sign(record)}
+        )
+
+    @ecall
+    def verify_broadcast_echo(self, stage: str, peer: str, frame: bytes) -> None:
+        """Check a peer's echoed broadcast digest against our own.
+
+        Raises :class:`~repro.errors.EquivocationError` when the digests
+        differ — the broadcaster sent this peer different bytes than it
+        sent us (or vice versa); one honest pair of witnesses suffices
+        to expose it.
+        """
+        envelope = serialization.decode(frame)
+        record_raw = bytes(envelope["record"])
+        self._echo_signer.verify(record_raw, bytes(envelope["sig"]))
+        record = serialization.decode(record_raw)
+        config = self._config()
+        if (
+            record["study"] != config["study_id"]
+            or record["stage"] != stage
+            or record["node"] != peer
+        ):
+            raise ProtocolError("echo record does not match its context")
+        if stage not in self._broadcast_digests:
+            raise PhaseOrderError(f"no {stage!r} broadcast digest held yet")
+        if not hmac.compare_digest(
+            bytes(record["digest"]), self._broadcast_digests[stage]
+        ):
+            raise EquivocationError(
+                f"stage {stage!r} broadcast digest from {peer} diverges "
+                f"from the one {self.enclave_id} holds",
+                stage=stage,
+                reporter=self.enclave_id,
+                peer=peer,
+            )
+
+    @ecall
+    def answer_transcript(self, frame: bytes) -> bytes:
+        """Attest this member's channel transcript to the leader.
+
+        The leader's request carries its (send, recv) transcript digests
+        taken before protecting the request; with no frame in flight
+        they must mirror ours exactly.  A mismatch means the two
+        endpoints processed different frame sequences — equivocation or
+        splicing below the AEAD layer — and fails closed.
+        """
+        leader = self._config()["leader_id"]
+        channel = self._channel(leader)
+        sent_snap, recv_snap = channel.transcript_snapshot()
+        request = self._open(leader, "transcript", frame)
+        stage = str(request["stage"])
+        if not hmac.compare_digest(bytes(request["send"]), recv_snap):
+            raise TranscriptDivergenceError(
+                f"leader send transcript diverges from what "
+                f"{self.enclave_id} received (stage {stage!r})"
+            )
+        if not hmac.compare_digest(bytes(request["recv"]), sent_snap):
+            raise TranscriptDivergenceError(
+                f"leader recv transcript diverges from what "
+                f"{self.enclave_id} sent (stage {stage!r})"
+            )
+        return self._protect(
+            leader,
+            "transcript",
+            {"stage": stage, "send": sent_snap, "recv": recv_snap},
+        )
+
+    @ecall
+    def lead_verify_transcripts(self, stage: str, ocall: OcallExchange) -> None:
+        """Cross-check channel transcripts with every member.
+
+        Run at phase boundaries: each member attests the digests of the
+        frame sequence it sent and received on its leader channel, and
+        the leader matches them against its own mirror-image digests.
+        Snapshots are taken immediately before protecting the request
+        (leader), before opening it (member), and before opening the
+        reply (leader), so each comparison happens at a quiescent point
+        of the channel.
+        """
+        self._require_leader()
+        sent_before: Dict[str, bytes] = {}
+        frames: Dict[str, bytes] = {}
+        for member in self._other_members():
+            send_digest, recv_digest = self._channel(
+                member
+            ).transcript_snapshot()
+            sent_before[member] = send_digest
+            frames[member] = self._protect(
+                member,
+                "transcript",
+                {"stage": stage, "send": send_digest, "recv": recv_digest},
+            )
+        # The round kind embeds the stage: transcript rounds recur every
+        # phase, and a kind unique per round lets the reply router
+        # reject cross-round replays by tag alone.
+        responses = ocall(f"transcript:{stage}", frames)
+        for member in self._other_members():
+            if member not in responses:
+                raise ProtocolError(
+                    f"no transcript attestation from {member}"
+                )
+            _, recv_before_reply = self._channel(member).transcript_snapshot()
+            try:
+                answer = self._open(member, "transcript", responses[member])
+            except ChannelError as exc:
+                # The host delivered something that fails channel
+                # authentication or ordering *as this round's
+                # attestation* — replayed or spliced reply traffic.
+                raise TranscriptDivergenceError(
+                    f"transcript attestation from {member} failed "
+                    f"channel verification (stage {stage!r})"
+                ) from exc
+            if answer.get("stage") != stage:
+                raise ProtocolError(
+                    f"transcript attestation from {member} is for the "
+                    f"wrong stage"
+                )
+            if not hmac.compare_digest(
+                bytes(answer["send"]), recv_before_reply
+            ):
+                raise TranscriptDivergenceError(
+                    f"{member} send transcript diverges from what the "
+                    f"leader received (stage {stage!r})"
+                )
+            if not hmac.compare_digest(
+                bytes(answer["recv"]), sent_before[member]
+            ):
+                raise TranscriptDivergenceError(
+                    f"{member} recv transcript diverges from what the "
+                    f"leader sent (stage {stage!r})"
+                )
 
     # -- Phase 2: LD -----------------------------------------------------------
 
@@ -1142,10 +1365,24 @@ class GenDPREnclave(Enclave):
 
     @ecall
     def checkpoint_state(self) -> SealedBlob:
-        """Seal the leader's verification state for untrusted storage."""
+        """Seal the leader's verification state for untrusted storage.
+
+        When a rollback counter is installed, each checkpoint advances
+        the platform's monotonic counter and binds the resulting epoch
+        into the sealed blob's associated data — so a host cannot later
+        swap in an older (validly sealed) checkpoint unnoticed.
+        """
         self._require_leader()
         raw = serialization.encode(self._checkpoint_payload())
-        return seal(self, raw, label="leader-checkpoint")
+        epoch = 0
+        if self._rollback_counter is not None:
+            epoch = self._rollback_counter.advance()
+        return seal(
+            self,
+            raw,
+            label="leader-checkpoint",
+            context=epoch.to_bytes(8, "big"),
+        )
 
     @ecall
     def restore_state(self, blob: SealedBlob) -> None:
@@ -1153,7 +1390,18 @@ class GenDPREnclave(Enclave):
 
         Only an enclave with the same measurement on the same platform
         can unseal the blob; a tampered or foreign checkpoint fails.
+        With a rollback counter installed, a blob sealed at an earlier
+        epoch than the platform counter's current value is rejected as
+        stale *before* any state is applied.
         """
+        if self._rollback_counter is not None and blob.context:
+            epoch = int.from_bytes(blob.context, "big")
+            if epoch < self._rollback_counter.value:
+                raise StaleCheckpointError(
+                    f"checkpoint epoch {epoch} is behind the platform "
+                    f"rollback counter ({self._rollback_counter.value}); "
+                    f"refusing rollback"
+                )
         raw = unseal(self, blob)
         state = serialization.decode(raw)
         self._study = state["study"]

@@ -32,7 +32,11 @@ from ..tee.channel import establish_channel
 from ..tee.enclave import GuardedEnclaveProxy, guarded
 from ..tee.storage import SealedColumnStore
 from .enclave_logic import GenDPREnclave
+from .integrity import IntegrityMonitor
 from .leader import elect_leader
+
+#: Platform monotonic-counter name backing checkpoint freshness epochs.
+ROLLBACK_COUNTER = "leader-checkpoint"
 
 
 @dataclass
@@ -66,14 +70,29 @@ class GdoHost:
                     "ingest_retained", envelope.body, label="retained"
                 )
                 return None
-            handler = self._HANDLERS.get(envelope.tag)
-            if handler is None:
-                raise ProtocolError(f"unknown protocol tag {envelope.tag!r}")
-            if self.store is None:
-                raise ProtocolError(f"{self.gdo_id} has no local dataset")
-            response = self.enclave.ecall(
-                handler, self.store, envelope.body, label=envelope.tag
-            )
+            if envelope.tag.startswith("transcript:"):
+                # Transcript attestations touch only channel state, not
+                # the sealed dataset.  The tag carries the stage
+                # ("transcript:<stage>") so each verification round has
+                # a unique kind — a Byzantine replay of an earlier
+                # round's reply is rejected by tag mismatch instead of
+                # reaching the channel and tripping replay protection.
+                response = self.enclave.ecall(
+                    "answer_transcript", envelope.body, label="transcript"
+                )
+            else:
+                handler = self._HANDLERS.get(envelope.tag)
+                if handler is None:
+                    raise ProtocolError(
+                        f"unknown protocol tag {envelope.tag!r}"
+                    )
+                if self.store is None:
+                    raise ProtocolError(
+                        f"{self.gdo_id} has no local dataset"
+                    )
+                response = self.enclave.ecall(
+                    handler, self.store, envelope.body, label=envelope.tag
+                )
         finally:
             self.answer_seconds += time.perf_counter() - begin
         return Envelope(
@@ -101,6 +120,10 @@ class Federation:
     data_auth_key: bytes = field(repr=False, default=b"")
     #: Installed :class:`~repro.faults.FaultInjector` for chaos runs.
     fault_injector: Optional[object] = field(repr=False, default=None)
+    #: Byzantine-integrity detection ledger for this federation.
+    integrity_monitor: IntegrityMonitor = field(
+        repr=False, default_factory=IntegrityMonitor
+    )
     #: Number of leader replacements performed so far.
     failovers: int = 0
 
@@ -152,6 +175,16 @@ class Federation:
             "configure", _study_params(self.config, self.member_ids, self.leader_id),
             label="failover",
         )
+        # The platform's rollback counter survives the crash — the
+        # replacement sees its predecessor's checkpoint epochs, which is
+        # what makes stale-checkpoint detection work across failovers.
+        replacement.install_rollback_counter(
+            self.platforms[self.leader_id].monotonic_counter(ROLLBACK_COUNTER)
+        )
+        if self.fault_injector is not None:
+            adversary = self.fault_injector.equivocation_adversary()
+            if adversary is not None:
+                replacement.install_equivocation_adversary(adversary)
         verifier = self.attestation.verifier()
         for member_id in self.member_ids:
             if member_id == self.leader_id:
@@ -279,6 +312,17 @@ def build_federation(
     params = _study_params(config, member_ids, leader_id)
     for enclave in enclaves.values():
         enclave.ecall("configure", params, label="setup")
+
+    # Checkpoint-freshness epochs come from the leader platform's
+    # monotonic counter; chaos runs may additionally compromise the
+    # leader's broadcast path.
+    enclaves[leader_id].install_rollback_counter(
+        platforms[leader_id].monotonic_counter(ROLLBACK_COUNTER)
+    )
+    if fault_injector is not None:
+        adversary = fault_injector.equivocation_adversary()
+        if adversary is not None:
+            enclaves[leader_id].install_equivocation_adversary(adversary)
 
     # Members verify and seal their signed local datasets (binary fast
     # path; the text SignedVcf container is accepted equivalently).

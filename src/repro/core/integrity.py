@@ -1,0 +1,104 @@
+"""Byzantine-integrity accounting for one federation run.
+
+The detection mechanisms live where the data is — transcript digests in
+:class:`~repro.tee.channel.ChannelEndpoint`, echo verification in the
+trusted module, epoch checks in the sealed-checkpoint path.  What they
+have in common is the *bookkeeping*: every detection must increment a
+metric (``integrity.*`` in the run report) and every violation that
+triggers a recovery must leave a quarantine record, so a chaos run's
+verdict is readable without scraping logs.  :class:`IntegrityMonitor`
+is that shared ledger; one instance is attached to each
+:class:`~repro.core.federation.Federation`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from ..errors import (
+    EquivocationError,
+    IntegrityError,
+    ProtocolError,
+    SealingError,
+    StaleCheckpointError,
+    TranscriptDivergenceError,
+)
+from .resilience import FailureReport
+
+#: Counter names, in the order they appear in reports.
+COUNTER_NAMES = (
+    "equivocations_detected",
+    "transcript_divergences",
+    "stale_checkpoints_rejected",
+    "sealed_restore_failures",
+    "quarantines",
+)
+
+
+def classify_violation(error: Exception) -> str:
+    """The ``integrity.*`` counter name a violation is attributed to."""
+    if isinstance(error, EquivocationError):
+        return "equivocations_detected"
+    if isinstance(error, TranscriptDivergenceError):
+        return "transcript_divergences"
+    if isinstance(error, StaleCheckpointError):
+        return "stale_checkpoints_rejected"
+    if isinstance(error, SealingError):
+        return "sealed_restore_failures"
+    if isinstance(error, IntegrityError):
+        # A future IntegrityError subtype without a dedicated counter
+        # still must not vanish from the ledger.
+        return "quarantines"
+    raise ProtocolError(
+        f"not an integrity violation: {type(error).__name__}"
+    )
+
+
+class IntegrityMonitor:
+    """Thread-safe detection counters + quarantine ledger of one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self._quarantined: List[FailureReport] = []
+
+    def record_detection(self, error: Exception) -> str:
+        """Classify a detected violation and bump its counter.
+
+        Called at the *detection site* (the integrity rounds, the
+        checkpoint-restore path), so the metric increments whether or
+        not a supervisor is present to recover.  Returns the counter
+        name the error was attributed to.
+        """
+        name = classify_violation(error)
+        with self._lock:
+            self._counters[name] += 1
+        return name
+
+    def quarantine(self, report: FailureReport) -> None:
+        """Record the implicated node of a violation-triggered recovery."""
+        with self._lock:
+            self._quarantined.append(report)
+            self._counters["quarantines"] += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def quarantined(self) -> List[FailureReport]:
+        with self._lock:
+            return list(self._quarantined)
+
+    @property
+    def detections(self) -> int:
+        """Total violations detected (quarantines excluded: one event
+        may legitimately both count a detection and a quarantine)."""
+        with self._lock:
+            return sum(
+                count
+                for name, count in self._counters.items()
+                if name != "quarantines"
+            )

@@ -18,7 +18,15 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
 from ..config import StudyConfig
-from ..errors import ProtocolError
+from ..errors import (
+    AuthenticationError,
+    EquivocationError,
+    IntegrityError,
+    NetworkError,
+    PhaseOrderError,
+    ProtocolError,
+    SerializationError,
+)
 from ..genomics.partition import partition_cohort
 from ..genomics.population import Cohort
 from ..net import Envelope, SimulatedNetwork
@@ -26,6 +34,7 @@ from ..obs import MetricsRegistry, RunReport, SpanCollector, config_fingerprint
 from ..obs.bridge import (
     record_cache_stats,
     record_faults,
+    record_integrity,
     record_network,
     record_resilience,
     record_resources,
@@ -67,6 +76,7 @@ class GenDPRProtocol:
             self._exchange = self._resilient
         else:
             self._exchange = self._ocall_exchange
+        self._integrity = federation.config.integrity.enabled
 
     @property
     def federation(self) -> Federation:
@@ -275,19 +285,26 @@ class GenDPRProtocol:
             record_resilience(
                 registry, self._resilient.stats(), self._supervision
             )
+        monitor = federation.integrity_monitor
+        if self._integrity or monitor.detections or monitor.quarantined():
+            record_integrity(registry, monitor.counters())
         record_spans(registry, spans)
+        meta = {
+            "leader_id": result.leader_id,
+            "num_members": result.num_members,
+            "l_des": result.l_des,
+            "l_safe": len(result.l_safe),
+            "spans_dropped": getattr(collector, "dropped", 0),
+        }
+        quarantined = monitor.quarantined()
+        if quarantined:
+            meta["quarantined"] = [report.to_dict() for report in quarantined]
         return RunReport(
             study_id=result.study_id,
             config_fingerprint=config_fingerprint(federation.config),
             spans=spans,
             metrics=registry.as_dict(),
-            meta={
-                "leader_id": result.leader_id,
-                "num_members": result.num_members,
-                "l_des": result.l_des,
-                "l_safe": len(result.l_safe),
-                "spans_dropped": getattr(collector, "dropped", 0),
-            },
+            meta=meta,
         )
 
     def _execute_study(self) -> StudyResult:
@@ -340,6 +357,7 @@ class GenDPRProtocol:
                 self._exchange,
                 label="summaries",
             )
+            self._verify_integrity("summaries", echo=False)
 
     def _phase_maf(self, clock: PhaseClock) -> None:
         leader = self._federation.leader_host.enclave
@@ -349,6 +367,7 @@ class GenDPRProtocol:
                 "lead_broadcast_retained", "prime", self._exchange,
                 label="broadcast",
             )
+            self._verify_integrity("prime")
 
     def _phase_ld(self, clock: PhaseClock) -> None:
         store, ref_store = self._leader_stores()
@@ -361,6 +380,7 @@ class GenDPRProtocol:
                 "lead_broadcast_retained", "double_prime", self._exchange,
                 label="broadcast",
             )
+            self._verify_integrity("double_prime")
 
     def _phase_lr(self, clock: PhaseClock) -> None:
         store, ref_store = self._leader_stores()
@@ -373,6 +393,139 @@ class GenDPRProtocol:
                 "lead_broadcast_retained", "safe", self._exchange,
                 label="broadcast",
             )
+            self._verify_integrity("safe")
+
+    # -- Byzantine-integrity rounds ----------------------------------------------
+    #
+    # Enabled via ``config.integrity``; both checks run at phase
+    # boundaries so a violation aborts (or triggers recovery) before the
+    # next phase consumes poisoned state.  With faults disabled these
+    # rounds are pure overhead checks: the per-frame cost on the hot
+    # path is only the channels' running digest updates.
+
+    def _verify_integrity(self, stage: str, *, echo: bool = True) -> None:
+        """Run the post-stage integrity checks (no-op unless enabled).
+
+        Detections are counted here, at the site, so the ``integrity.*``
+        metrics increment even when no supervisor is present to recover
+        and the violation aborts the run directly.
+        """
+        if not self._integrity:
+            return
+        try:
+            if echo:
+                self._echo_round(stage)
+            self._federation.leader_host.enclave.ecall(
+                "lead_verify_transcripts", stage, self._exchange,
+                label="integrity",
+            )
+        except IntegrityError as exc:
+            self._federation.integrity_monitor.record_detection(exc)
+            raise
+
+    def _echo_round(self, stage: str) -> None:
+        """Broadcast-consistency echo over the participant ring.
+
+        After a leader broadcast every participant (leader included)
+        exports a signed digest of the payload it holds and sends it to
+        its ring successor — O(G) messages — whose enclave compares it
+        against its own digest.  Any equivocation splits the ring into
+        runs of differing digests, so at least one edge crosses the
+        difference and raises
+        :class:`~repro.errors.EquivocationError`.
+        """
+        federation = self._federation
+        participants = federation.member_ids
+        if len(participants) < 2:
+            return
+        injector = federation.fault_injector
+        if injector is not None:
+            injector.begin_round("echo")
+        resilience = federation.config.resilience
+        max_attempts = resilience.max_attempts if resilience.enabled else 1
+        with TRACER.span("echo", stage=stage, members=len(participants)):
+            frames: Dict[str, bytes] = {}
+            for node in participants:
+                try:
+                    frames[node] = federation.hosts[node].enclave.ecall(
+                        "export_broadcast_echo", stage, label="echo"
+                    )
+                except PhaseOrderError:
+                    # The node never ingested this stage's broadcast:
+                    # the broadcaster sent it nothing while others got
+                    # the payload — equivocation by omission.
+                    raise EquivocationError(
+                        f"{node} holds no {stage!r} broadcast — withheld "
+                        f"by the broadcaster?",
+                        stage=stage,
+                        reporter=node,
+                        peer=federation.leader_id,
+                    ) from None
+            for index, node in enumerate(participants):
+                successor = participants[(index + 1) % len(participants)]
+                self._deliver_echo(
+                    stage, node, successor, frames[node], max_attempts
+                )
+
+    def _deliver_echo(
+        self,
+        stage: str,
+        sender: str,
+        receiver: str,
+        frame: bytes,
+        max_attempts: int,
+    ) -> None:
+        """Ship one ring echo and have the receiver's enclave verify it.
+
+        Echo frames ride the faulty network like any other message, so
+        delivery retries (bounded by the resilience budget) re-send the
+        identical signed record; corrupted or stray frames are junked
+        by the MAC before they can raise anything but an integrity
+        verdict.
+        """
+        federation = self._federation
+        network = federation.network
+        enclave = federation.hosts[receiver].enclave
+        injector = federation.fault_injector
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                network.send(
+                    Envelope(
+                        sender=sender, receiver=receiver, tag="echo", body=frame
+                    )
+                )
+            except NetworkError:
+                pass  # partitioned; the bounded retry below rides it out
+            while network.pending(receiver):
+                envelope = network.receive(receiver)
+                if envelope.tag != "echo":
+                    continue  # stray frame from an earlier round
+                try:
+                    enclave.ecall(
+                        "verify_broadcast_echo",
+                        stage,
+                        sender,
+                        envelope.body,
+                        label="echo",
+                    )
+                    return
+                except IntegrityError:
+                    raise
+                except (
+                    AuthenticationError,
+                    SerializationError,
+                    ProtocolError,
+                ):
+                    continue  # corrupted/spliced copy: junk, keep pumping
+            if attempt >= max_attempts:
+                raise NetworkError(
+                    f"echo from {sender} to {receiver} lost after "
+                    f"{attempt} attempts"
+                )
+            if injector is not None:
+                injector.release_delayed(receiver)
 
     def _build_result(self, timings) -> StudyResult:
         federation = self._federation

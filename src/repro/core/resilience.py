@@ -89,9 +89,15 @@ class _ReplyRouter:
     """Routes the leader's inbox to per-member reply slots, with dedup.
 
     Worker threads of a parallel round all pump the shared leader inbox;
-    one lock serialises the popping, and a *cumulative* per-member set
-    of seen frame hashes rejects duplicated or late-released copies —
-    across rounds, since AEAD frames are unique per round.
+    one lock serialises the popping, and a per-member set of seen frame
+    hashes rejects duplicated or late-released copies.  The sets are
+    *generational*, not cumulative: a round boundary rotates the current
+    generation into the previous one and starts fresh, so memory stays
+    bounded by two rounds' traffic instead of growing for the whole
+    study.  Two generations (not one) because a DELAYed duplicate is
+    released while its successor round retries — it must still hit the
+    dedup filter, and one-generation clearing would let it through.
+    Frames older than that are rejected by tag/kind mismatch anyway.
     """
 
     def __init__(self, network, leader_id: str):
@@ -99,13 +105,28 @@ class _ReplyRouter:
         self._leader_id = leader_id
         self._lock = threading.Lock()
         self._seen: Dict[str, Set[bytes]] = defaultdict(set)
+        self._seen_prev: Dict[str, Set[bytes]] = {}
         self._replies: Dict[str, bytes] = {}
         self._kind: Optional[str] = None
         self._expected: Set[str] = set()
         self.discarded = 0
+        #: Peak number of tracked frame hashes (both generations) —
+        #: evidence the dedup memory stays bounded across long studies.
+        self.seen_high_water = 0
+
+    def _track_high_water(self) -> None:
+        # Caller holds self._lock.
+        tracked = sum(len(s) for s in self._seen.values()) + sum(
+            len(s) for s in self._seen_prev.values()
+        )
+        if tracked > self.seen_high_water:
+            self.seen_high_water = tracked
 
     def begin_round(self, kind: str, expected: Set[str]) -> None:
         with self._lock:
+            self._track_high_water()
+            self._seen_prev = dict(self._seen)
+            self._seen = defaultdict(set)
             self._kind = kind
             self._expected = set(expected)
             self._replies = {}
@@ -116,10 +137,13 @@ class _ReplyRouter:
             while self._network.pending(self._leader_id):
                 envelope = self._network.receive(self._leader_id)
                 digest = _frame_hash(envelope.body)
-                if digest in self._seen[envelope.sender]:
+                if digest in self._seen[envelope.sender] or digest in (
+                    self._seen_prev.get(envelope.sender) or ()
+                ):
                     self.discarded += 1
                     continue
                 self._seen[envelope.sender].add(digest)
+                self._track_high_water()
                 if (
                     envelope.tag == self._kind
                     and envelope.sender in self._expected
@@ -172,6 +196,7 @@ class ResilientExchange:
             stats: Dict[str, float] = dict(self._stats)
             stats["backoff_seconds"] = self._backoff_seconds
         stats["replies_deduped"] = self._router.discarded
+        stats["dedup_seen_high_water"] = self._router.seen_high_water
         return stats
 
     # -- round driver --------------------------------------------------------

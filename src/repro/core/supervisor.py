@@ -26,10 +26,17 @@ phase — same outcome, new checkpoint.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..errors import EnclaveCrashedError, LeaderFailoverError
+from ..errors import (
+    EnclaveCrashedError,
+    IntegrityError,
+    LeaderFailoverError,
+    SealingError,
+)
 from ..obs.tracer import TRACER
+from .integrity import classify_violation
+from .resilience import FailureReport
 from .timing import PhaseClock, PhaseTimings
 
 
@@ -40,8 +47,12 @@ class ProtocolSupervisor:
         self._protocol = protocol
         self._federation = protocol.federation
         self._policy = self._federation.config.resilience
+        self._monitor = self._federation.integrity_monitor
         self._checkpoint = None
         self._events: List[Dict[str, object]] = []
+        #: The classified violation driving the current recovery; raised
+        #: instead of a generic budget abort when failovers run out.
+        self._pending_violation: Optional[Exception] = None
 
     # -- execution -----------------------------------------------------------
 
@@ -74,7 +85,24 @@ class ProtocolSupervisor:
                 self._checkpoint = leader_ecall(
                     "checkpoint_state", label="checkpoint"
                 )
+                injector = self._federation.fault_injector
+                if injector is not None:
+                    injector.on_checkpoint(self._checkpoint)
+                self._pending_violation = None
                 return
+            except (IntegrityError, SealingError) as exc:
+                # A classified Byzantine violation (or a tampered
+                # checkpoint failing sealed-restore authentication):
+                # quarantine the implicated node and recover through
+                # leader replacement — the same machinery as a crash,
+                # but the abort error, if the budget runs out, stays
+                # classified.  The budget is checked *here*, before
+                # deciding to retry: the typed abort must escape this
+                # loop, not be re-caught by it.
+                self._handle_violation(name, exc)
+                if self._federation.failovers >= self._policy.max_failovers:
+                    raise
+                need_restore = True
             except EnclaveCrashedError:
                 if not self._federation.leader_host.enclave.crashed:
                     # Member crashes are converted by the resilient
@@ -93,9 +121,53 @@ class ProtocolSupervisor:
 
     # -- failover ------------------------------------------------------------
 
+    def _handle_violation(self, step: str, exc: Exception) -> None:
+        """Quarantine the implicated node of a detected violation.
+
+        The detection counter was already bumped at the detection site
+        (the integrity rounds, or the checkpoint-restore path); this
+        records the recovery decision.
+        """
+        federation = self._federation
+        counter = classify_violation(exc)
+        implicated = getattr(exc, "peer", "") or federation.leader_id
+        self._monitor.quarantine(
+            FailureReport(
+                study_id=federation.config.study_id,
+                member_id=implicated,
+                round_kind=step,
+                attempts=federation.failovers,
+                cause=type(exc).__name__,
+                simulated_time_s=federation.network.simulated_time,
+                counters=self._monitor.counters(),
+            )
+        )
+        self._pending_violation = exc
+        self._events.append(
+            {
+                "event": "integrity_violation",
+                "step": step,
+                "error": type(exc).__name__,
+                "counter": counter,
+                "implicated": implicated,
+            }
+        )
+        if TRACER.enabled:
+            TRACER.event(
+                "supervisor.integrity_violation",
+                step=step,
+                error=type(exc).__name__,
+                counter=counter,
+            )
+
     def _failover(self, step: str) -> None:
         federation = self._federation
         if federation.failovers >= self._policy.max_failovers:
+            if self._pending_violation is not None:
+                # The budget is gone while recovering from a classified
+                # violation: abort with the violation itself, not a
+                # generic failover error, so chaos verdicts stay typed.
+                raise self._pending_violation
             raise LeaderFailoverError(
                 f"leader of study {federation.config.study_id!r} crashed "
                 f"beyond the failover budget "
@@ -112,9 +184,22 @@ class ProtocolSupervisor:
                 flushed += federation.fault_injector.reset_in_flight()
             federation.replace_leader_enclave()
             if self._checkpoint is not None:
-                self._leader_ecall(
-                    "restore_state", self._checkpoint, label="failover"
-                )
+                blob = self._checkpoint
+                if federation.fault_injector is not None:
+                    # A Byzantine host controls which sealed blob it
+                    # offers for restore; the tamper hook models that.
+                    blob = federation.fault_injector.checkpoint_for_restore(
+                        blob
+                    )
+                try:
+                    self._leader_ecall(
+                        "restore_state", blob, label="failover"
+                    )
+                except (IntegrityError, SealingError) as exc:
+                    # Stale or tampered checkpoint rejected: a detection
+                    # in its own right, counted at this site.
+                    self._monitor.record_detection(exc)
+                    raise
             self._events.append(
                 {
                     "event": "failover",

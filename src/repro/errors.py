@@ -181,6 +181,57 @@ class LeaderFailoverError(ResilienceError):
 
 
 # ---------------------------------------------------------------------------
+# Byzantine integrity
+# ---------------------------------------------------------------------------
+
+
+class IntegrityError(ResilienceError):
+    """Base class for detected Byzantine-host integrity violations.
+
+    Crash faults are masked (retried, failed over); *integrity* faults —
+    an untrusted host playing valid frames adversarially — are detected
+    and the study aborts in a well-defined state rather than publishing
+    a potentially divergent safe set.
+    """
+
+
+class EquivocationError(IntegrityError):
+    """A leader broadcast was not byte-identical across followers.
+
+    Detected by the broadcast-consistency echo round: followers exchange
+    authenticated digests of the payload they ingested, and any adjacent
+    pair disagreeing proves the broadcaster (or its host) equivocated.
+    """
+
+    def __init__(self, message: str, *, stage: str = "", reporter: str = "",
+                 peer: str = ""):
+        super().__init__(message)
+        self.stage = stage
+        self.reporter = reporter
+        self.peer = peer
+
+
+class TranscriptDivergenceError(IntegrityError):
+    """Two channel endpoints disagree on their bidirectional frame history.
+
+    Each attested channel folds every protected/opened frame into a
+    running SHA-256 transcript; enclaves cross-check the digests at
+    phase boundaries.  A mismatch means the untrusted transport withheld,
+    reordered or spliced traffic in a way per-frame AEAD cannot see.
+    """
+
+
+class StaleCheckpointError(IntegrityError):
+    """A sealed checkpoint older than the platform rollback counter.
+
+    Sealed leader checkpoints bind a monotonic epoch into their AAD;
+    a restore presenting an earlier epoch than the platform's counter
+    is a rollback replay and is rejected instead of silently rewinding
+    the study.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
 

@@ -6,13 +6,16 @@ simulated network and the enclave ECALL boundary.  Disabled by
 default; enabled per-study via :class:`repro.config.FaultConfig`.
 """
 
-from .injector import FaultInjector
+from .injector import BroadcastEquivocator, FaultInjector
 from .plan import (
     ACTIONS,
     CORRUPT,
     DELAY,
     DROP,
     DUPLICATE,
+    EQUIVOCATE,
+    REPLAY,
+    WITHHOLD,
     CrashPoint,
     FaultPlan,
     PartitionWindow,
@@ -24,6 +27,10 @@ __all__ = [
     "DELAY",
     "DROP",
     "DUPLICATE",
+    "EQUIVOCATE",
+    "REPLAY",
+    "WITHHOLD",
+    "BroadcastEquivocator",
     "CrashPoint",
     "FaultInjector",
     "FaultPlan",

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import NetworkError
 from ..net.message import Envelope
 from ..obs.tracer import TRACER
-from .plan import CORRUPT, DELAY, DROP, DUPLICATE, FaultPlan
+from ..tee.sealing import SealedBlob
+from .plan import CORRUPT, DELAY, DROP, DUPLICATE, REPLAY, WITHHOLD, FaultPlan
 
 #: Cap on the per-run injected-event log (counters are never capped).
 _EVENT_LOG_LIMIT = 10_000
@@ -51,6 +52,15 @@ class FaultInjector:
         #: node_id -> send operations still to block (active partitions).
         self._partition_budget: Dict[str, int] = {}
         self._pending_delayed: List[Envelope] = []
+        #: Last *valid* envelope delivered per link — the material a
+        #: Byzantine host replays.  One per link bounds the memory.
+        self._link_history: Dict[Tuple[str, str], Envelope] = {}
+        #: Checkpoint-tamper state (see on_checkpoint/checkpoint_for_restore).
+        self._first_checkpoint: Optional[SealedBlob] = None
+        self._stale_served = False
+        #: Cached compromised-broadcaster model — one instance per run,
+        #: so attempt counters persist across leader failovers.
+        self._equivocator: Optional["BroadcastEquivocator"] = None
         self._counters: Dict[str, int] = {
             "drops": 0,
             "duplicates": 0,
@@ -60,6 +70,10 @@ class FaultInjector:
             "crashes": 0,
             "released_delayed": 0,
             "flushed_in_flight": 0,
+            "replays": 0,
+            "withholds": 0,
+            "equivocations": 0,
+            "checkpoint_tampers": 0,
         }
         self._events: List[Dict[str, object]] = []
 
@@ -145,8 +159,16 @@ class FaultInjector:
             self._leader_id is not None and envelope.sender != self._leader_id
         ):
             action = DROP
+        if action == WITHHOLD and self._plan.withhold_target and (
+            self._plan.withhold_target not in link
+        ):
+            # Targeted withholding: links not touching the target are
+            # left alone (the adversary spends its budget selectively).
+            action = None
         if action is None:
             network._deliver(envelope)
+            with self._lock:
+                self._link_history[link] = envelope
             return
         context = {
             "sender": envelope.sender,
@@ -190,6 +212,28 @@ class FaultInjector:
             )
             with self._lock:
                 self._record("corrupt", "corruptions", offset=offset, **context)
+        elif action == REPLAY:
+            # Deliver the genuine frame, then re-play the previous valid
+            # frame on the same link: authenticated-but-stale traffic the
+            # receiver must reject (channel sequencing) or absorb (dedup).
+            network._deliver(envelope)
+            with self._lock:
+                earlier = self._link_history.get(link)
+                self._link_history[link] = envelope
+            if earlier is not None:
+                network._deliver(
+                    Envelope(
+                        sender=earlier.sender,
+                        receiver=earlier.receiver,
+                        tag=earlier.tag,
+                        body=earlier.body,
+                    )
+                )
+                with self._lock:
+                    self._record("replay", "replays", **context)
+        elif action == WITHHOLD:
+            with self._lock:
+                self._record("withhold", "withholds", **context)
 
     def _partition_blocked(self, envelope: Envelope) -> Optional[str]:
         """The partitioned endpoint blocking this send, if any (locked)."""
@@ -237,6 +281,74 @@ class FaultInjector:
             self._pending_delayed = []
             self._counters["flushed_in_flight"] += flushed
         return flushed
+
+    # -- Byzantine hooks -------------------------------------------------------
+
+    def equivocation_adversary(self) -> Optional["BroadcastEquivocator"]:
+        """The compromised-broadcaster model, or ``None`` when unarmed.
+
+        Installed into the leader enclave at provisioning time (and
+        re-installed into every replacement enclave, so per-broadcast
+        attempt counters persist across failovers).
+        """
+        if self._plan.equivocate_rate <= 0.0:
+            return None
+        if self._equivocator is None:
+            self._equivocator = BroadcastEquivocator(self)
+        return self._equivocator
+
+    def record_equivocation(self, **attributes: object) -> None:
+        with self._lock:
+            self._record("equivocate", "equivocations", **attributes)
+
+    def on_checkpoint(self, blob: Optional[SealedBlob]) -> None:
+        """Observe a sealed checkpoint (the host stores them anyway).
+
+        The tampering host keeps the *first* blob around as rollback
+        material for :meth:`checkpoint_for_restore`.
+        """
+        if blob is None or not self._plan.checkpoint_tamper:
+            return
+        with self._lock:
+            if self._first_checkpoint is None:
+                self._first_checkpoint = blob
+
+    def checkpoint_for_restore(
+        self, latest: Optional[SealedBlob]
+    ) -> Optional[SealedBlob]:
+        """The blob the (possibly tampering) host serves for a restore.
+
+        ``"corrupt"`` always serves a bit-flipped copy (unsealing fails
+        closed every time, so the failover budget runs out).  ``"stale"``
+        serves the oldest sealed checkpoint exactly once — the rollback
+        replay the platform counter rejects — after which the honest
+        blob is served and the study recovers; ``"stale_persistent"``
+        serves it on every restore, forcing a classified abort.
+        """
+        mode = self._plan.checkpoint_tamper
+        if not mode or latest is None:
+            return latest
+        if mode == "corrupt":
+            data = bytearray(latest.data)
+            data[len(data) // 2] ^= 0x01
+            with self._lock:
+                self._record(
+                    "checkpoint_corrupt", "checkpoint_tampers", label=latest.label
+                )
+            return SealedBlob(
+                data=bytes(data), label=latest.label, context=latest.context
+            )
+        with self._lock:
+            first = self._first_checkpoint
+            if first is None or first.data == latest.data:
+                return latest
+            if mode == "stale" and self._stale_served:
+                return latest
+            self._stale_served = True
+            self._record(
+                "checkpoint_stale", "checkpoint_tampers", label=first.label
+            )
+        return first
 
     # -- enclave hook ----------------------------------------------------------
 
@@ -289,6 +401,10 @@ class FaultInjector:
                 + self._counters["corruptions"]
                 + self._counters["partition_blocks"]
                 + self._counters["crashes"]
+                + self._counters["replays"]
+                + self._counters["withholds"]
+                + self._counters["equivocations"]
+                + self._counters["checkpoint_tampers"]
             )
 
     def report(self) -> Dict[str, object]:
@@ -301,3 +417,38 @@ class FaultInjector:
                 "events": [dict(e) for e in self._events],
                 "event_log_truncated": len(self._events) >= _EVENT_LOG_LIMIT,
             }
+
+
+class BroadcastEquivocator:
+    """Models a compromised leader-side trusted module that equivocates.
+
+    A Byzantine *host* cannot forge AEAD frames, so sending different
+    followers different (individually well-authenticated) broadcast
+    bodies requires the broadcasting module itself to be adversarial.
+    The federation installs this hook into the leader enclave when the
+    plan arms ``equivocate_rate``; the enclave consults it per
+    ``(stage, member)`` while building broadcast frames.
+
+    Draws are pure plan lookups keyed by the per-pair attempt number,
+    so a run replays exactly, while a post-failover re-broadcast (a new
+    attempt) may draw clean and let the study complete bit-identically.
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self._injector = injector
+        self._lock = threading.Lock()
+        self._attempts: Dict[Tuple[str, str], int] = {}
+
+    def mutate(self, stage: str, member: str, snps: List[int]) -> List[int]:
+        """The SNP list actually sent to ``member`` for ``stage``."""
+        with self._lock:
+            attempt = self._attempts.get((stage, member), 0) + 1
+            self._attempts[(stage, member)] = attempt
+        if not self._injector.plan.equivocate_for(stage, member, attempt):
+            return list(snps)
+        self._injector.record_equivocation(
+            stage=stage, member=member, attempt=attempt
+        )
+        # Any deterministic divergence works; drop the tail SNP (or
+        # invent one when the list is empty) so digests cannot match.
+        return list(snps[:-1]) if snps else [0]

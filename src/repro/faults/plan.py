@@ -32,8 +32,12 @@ DROP = "drop"
 DUPLICATE = "duplicate"
 DELAY = "delay"
 CORRUPT = "corrupt"
+#: Byzantine actions: valid frames played adversarially.
+REPLAY = "replay"
+WITHHOLD = "withhold"
+EQUIVOCATE = "equivocate"
 
-ACTIONS = (DROP, DUPLICATE, DELAY, CORRUPT)
+ACTIONS = (DROP, DUPLICATE, DELAY, CORRUPT, REPLAY, WITHHOLD)
 
 #: Resolution of the per-envelope uniform draw.
 _DRAW_RESOLUTION = 1_000_000
@@ -79,10 +83,22 @@ class FaultPlan:
         duplicate_rate: float = 0.0,
         delay_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        replay_rate: float = 0.0,
+        withhold_rate: float = 0.0,
+        withhold_target: str = "",
+        equivocate_rate: float = 0.0,
+        checkpoint_tamper: str = "",
         crash_points: Tuple[CrashPoint, ...] = (),
         partition_windows: Tuple[PartitionWindow, ...] = (),
     ):
-        total = drop_rate + duplicate_rate + delay_rate + corrupt_rate
+        total = (
+            drop_rate
+            + duplicate_rate
+            + delay_rate
+            + corrupt_rate
+            + replay_rate
+            + withhold_rate
+        )
         if total > 1.0 + 1e-12:
             raise ValueError("fault rates must sum to at most 1")
         self.seed = seed
@@ -90,6 +106,11 @@ class FaultPlan:
         self.duplicate_rate = duplicate_rate
         self.delay_rate = delay_rate
         self.corrupt_rate = corrupt_rate
+        self.replay_rate = replay_rate
+        self.withhold_rate = withhold_rate
+        self.withhold_target = withhold_target
+        self.equivocate_rate = equivocate_rate
+        self.checkpoint_tamper = checkpoint_tamper
         self.crash_points = tuple(crash_points)
         self.partition_windows = tuple(partition_windows)
         # Pre-computed cumulative thresholds on the integer draw.
@@ -100,6 +121,8 @@ class FaultPlan:
             (DUPLICATE, duplicate_rate),
             (DELAY, delay_rate),
             (CORRUPT, corrupt_rate),
+            (REPLAY, replay_rate),
+            (WITHHOLD, withhold_rate),
         ):
             cumulative += rate
             self._thresholds.append((int(cumulative * _DRAW_RESOLUTION), action))
@@ -113,6 +136,11 @@ class FaultPlan:
             duplicate_rate=config.duplicate_rate,
             delay_rate=config.delay_rate,
             corrupt_rate=config.corrupt_rate,
+            replay_rate=config.replay_rate,
+            withhold_rate=config.withhold_rate,
+            withhold_target=config.withhold_target,
+            equivocate_rate=config.equivocate_rate,
+            checkpoint_tamper=config.checkpoint_tamper,
             crash_points=tuple(
                 CrashPoint(enclave_id, index)
                 for enclave_id, index in config.crash_points
@@ -153,6 +181,17 @@ class FaultPlan:
             return 0
         return self._draw("corrupt", sender, receiver, link_index) % body_len
 
+    def equivocate_for(self, stage: str, member: str, attempt: int) -> bool:
+        """Whether the compromised broadcaster equivocates toward a member.
+
+        Drawn per ``(stage, member, attempt)``: the same broadcast
+        attempt always replays identically, while a post-failover re-run
+        (a new attempt) draws afresh — so a detected equivocation can
+        resolve into a clean, bit-identical completion.
+        """
+        draw = self._draw("equivocate", stage, member, attempt)
+        return draw < int(self.equivocate_rate * _DRAW_RESOLUTION)
+
     def describe(self) -> dict:
         """Plan parameters as a JSON-friendly document (for reports)."""
         return {
@@ -161,6 +200,11 @@ class FaultPlan:
             "duplicate_rate": self.duplicate_rate,
             "delay_rate": self.delay_rate,
             "corrupt_rate": self.corrupt_rate,
+            "replay_rate": self.replay_rate,
+            "withhold_rate": self.withhold_rate,
+            "withhold_target": self.withhold_target,
+            "equivocate_rate": self.equivocate_rate,
+            "checkpoint_tamper": self.checkpoint_tamper,
             "crash_points": [
                 {"enclave_id": p.enclave_id, "ecall_index": p.ecall_index}
                 for p in self.crash_points

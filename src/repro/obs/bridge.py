@@ -127,6 +127,18 @@ def record_faults(registry: MetricsRegistry, counters: Dict[str, int]) -> None:
         registry.counter(f"faults.{metric_slug(name)}").inc(int(value))
 
 
+def record_integrity(registry: MetricsRegistry, counters: Dict[str, int]) -> None:
+    """Feed the integrity monitor's ledger into ``integrity.*`` metrics.
+
+    One counter per Byzantine-detection mechanism (equivocation echo,
+    transcript cross-check, checkpoint freshness, sealed-restore
+    authentication) plus the quarantine count, so every detection a
+    chaos run triggers is visible in the RunReport.
+    """
+    for name, value in sorted(counters.items()):
+        registry.counter(f"integrity.{metric_slug(name)}").inc(int(value))
+
+
 def record_resilience(
     registry: MetricsRegistry,
     stats: Dict[str, float],
@@ -142,8 +154,11 @@ def record_resilience(
     """
     backoff_seconds = float(stats.get("backoff_seconds", 0.0))
     registry.gauge("resilience.backoff_s").set(backoff_seconds)
+    # High-water marks are levels, not event counts: report as gauges.
+    high_water = int(stats.get("dedup_seen_high_water", 0))
+    registry.gauge("resilience.dedup_seen_high_water").set(high_water)
     for name, value in sorted(stats.items()):
-        if name == "backoff_seconds":
+        if name in ("backoff_seconds", "dedup_seen_high_water"):
             continue
         registry.counter(f"resilience.{metric_slug(name)}").inc(int(value))
     if supervision:

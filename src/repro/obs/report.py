@@ -29,8 +29,16 @@ SCHEMA_VERSION = 1
 #: the test suite enforces.  Fault injection and resilience knobs are
 #: excluded for the same reason: a faulted run either completes with
 #: bit-identical outcomes or aborts with a classified error (enforced
-#: by the chaos suite), so they are not part of a run's identity.
-FINGERPRINT_EXCLUDED_FIELDS = ("observability", "execution", "faults", "resilience")
+#: by the chaos suite), so they are not part of a run's identity.  The
+#: integrity checks verify outcomes rather than change them, so they
+#: are excluded on the same grounds.
+FINGERPRINT_EXCLUDED_FIELDS = (
+    "observability",
+    "execution",
+    "faults",
+    "resilience",
+    "integrity",
+)
 
 
 def config_fingerprint(config: Any) -> str:
@@ -152,7 +160,21 @@ class RunReport:
             f"  config:      {self.config_fingerprint[:16]}...",
         ]
         for key, value in sorted(self.meta.items()):
+            if key == "quarantined":
+                continue  # rendered as its own section below
             lines.append(f"  {key + ':':<12} {value}")
+
+        quarantined = self.meta.get("quarantined") or []
+        if quarantined:
+            lines.append("")
+            lines.append(f"Quarantined nodes ({len(quarantined)}):")
+            for report in quarantined:
+                lines.append(
+                    f"  {report.get('member_id', '?'):<12s} "
+                    f"step={report.get('round_kind', '?'):<10s} "
+                    f"cause={report.get('cause', '?')} "
+                    f"(failovers so far: {report.get('attempts', 0)})"
+                )
 
         phases = self.phase_seconds()
         if phases:

@@ -16,6 +16,7 @@ enclaves) is the right substrate for this reproduction.
 
 from .attestation import (
     AttestationService,
+    MonotonicCounter,
     Platform,
     Quote,
     QuoteVerifier,
@@ -43,6 +44,7 @@ from .storage import ColumnReader, SealedColumnStore, seal_matrix
 
 __all__ = [
     "AttestationService",
+    "MonotonicCounter",
     "Platform",
     "Quote",
     "QuoteVerifier",

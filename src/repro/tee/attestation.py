@@ -74,6 +74,33 @@ def pack_report_data(*items: bytes) -> bytes:
     return hasher.digest() + bytes(REPORT_DATA_SIZE - MEASUREMENT_SIZE)
 
 
+class MonotonicCounter:
+    """A platform-backed monotonic counter (SGX rollback protection).
+
+    Models the SGX/TPM monotonic counter service: the value survives
+    enclave teardown and replacement because it belongs to the
+    *platform*, not the enclave instance.  Sealed checkpoints bind the
+    value current at sealing time into their AAD; a restore presenting
+    an earlier value than the counter proves a rollback replay (see
+    :class:`~repro.errors.StaleCheckpointError`).
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise AttestationError("counter name must be non-empty")
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def advance(self) -> int:
+        """Increment and return the new value (never rolls back)."""
+        self._value += 1
+        return self._value
+
+
 class Platform:
     """A TEE-enabled machine: root key + quoting credentials."""
 
@@ -81,6 +108,18 @@ class Platform:
         self.platform_id = platform_id
         self.root_key = root_key
         self._quote_signer = MacSigner(quoting_key, purpose="quote")
+        self._counters: Dict[str, MonotonicCounter] = {}
+
+    def monotonic_counter(self, name: str) -> MonotonicCounter:
+        """The platform's named monotonic counter (created on first use).
+
+        Repeated calls return the same counter object, so a replacement
+        enclave on the same platform observes every advance its crashed
+        predecessor performed.
+        """
+        if name not in self._counters:
+            self._counters[name] = MonotonicCounter(name)
+        return self._counters[name]
 
     def quote_enclave(self, enclave: Enclave, report_data: bytes) -> Quote:
         """Produce a quote over an enclave hosted on this platform."""

@@ -14,11 +14,18 @@ remote attestation phase".  This module implements that handshake:
 
 The resulting :class:`ChannelEndpoint`s AEAD-protect every frame with a
 per-direction sequence number, so replayed, reordered or cross-channel
-frames are rejected.
+frames are rejected.  Each endpoint additionally folds every frame it
+protects or successfully opens into a running SHA-256 *transcript*
+digest per direction; enclaves cross-check these digests at phase
+boundaries (see :mod:`repro.core.enclave_logic`) to turn host-level
+history tampering — withholding or splicing across retries — into a
+deterministic :class:`~repro.errors.TranscriptDivergenceError` instead
+of a silent divergence.
 """
 
 from __future__ import annotations
 
+import hashlib
 import hmac
 from dataclasses import dataclass
 from typing import Tuple
@@ -114,6 +121,19 @@ class ChannelEndpoint:
         # and the AEAD above keeps its derived key schedule.
         self._send_prefix = self._direction(local_id, peer_id) + b"\x00"
         self._recv_prefix = self._direction(peer_id, local_id) + b"\x00"
+        # Running transcript digests, one per direction.  Updating a
+        # rolling hash is the only per-frame cost; digests materialise
+        # solely in transcript_snapshot() at phase boundaries.  Each is
+        # seeded by the *flow* direction (sender->receiver), which both
+        # endpoints compute identically — so this end's sent digest and
+        # the peer's recv digest agree exactly when both processed the
+        # same frame sequence.
+        self._sent_transcript = hashlib.sha256(
+            b"repro.transcript/v1:" + self._send_prefix
+        )
+        self._recv_transcript = hashlib.sha256(
+            b"repro.transcript/v1:" + self._recv_prefix
+        )
 
     def _direction(self, sender: str, receiver: str) -> bytes:
         return f"dir:{sender}->{receiver}".encode("utf-8")
@@ -125,7 +145,9 @@ class ChannelEndpoint:
         header = self._send_seq.to_bytes(8, "big")
         associated = self._send_prefix + kind + header
         self._send_seq += 1
-        return header + self._aead.encrypt(payload, associated_data=associated)
+        frame = header + self._aead.encrypt(payload, associated_data=associated)
+        self._sent_transcript.update(frame)
+        return frame
 
     def open(self, frame: bytes, kind: bytes = b"") -> bytes:
         """Verify and decrypt an inbound wire frame (strictly in order)."""
@@ -145,7 +167,22 @@ class ChannelEndpoint:
         except AuthenticationError as exc:
             raise ChannelError("frame failed authentication") from exc
         self._recv_seq += 1
+        # Only authenticated frames enter the transcript: a forged or
+        # corrupted delivery raised above and must not desynchronise
+        # the histories the peers later cross-check.
+        self._recv_transcript.update(frame)
         return payload
+
+    def transcript_snapshot(self) -> Tuple[bytes, bytes]:
+        """``(sent_digest, recv_digest)`` over all frames so far.
+
+        ``hashlib`` digests are non-destructive, so snapshots can be
+        taken at every phase boundary while the transcripts keep
+        accumulating.  A healthy channel satisfies
+        ``local.sent == peer.recv`` and ``local.recv == peer.sent``
+        whenever no frame is in flight.
+        """
+        return self._sent_transcript.digest(), self._recv_transcript.digest()
 
     def close(self) -> None:
         self._closed = True

@@ -25,26 +25,48 @@ _SEAL_MAGIC = b"RSEAL1"
 
 @dataclass(frozen=True)
 class SealedBlob:
-    """An opaque sealed payload, safe to store on untrusted media."""
+    """An opaque sealed payload, safe to store on untrusted media.
+
+    ``context`` is authenticated-but-clear metadata bound into the AAD
+    alongside the label — e.g. the monotonic checkpoint epoch a restore
+    compares against the platform rollback counter *before* unsealing.
+    Tampering with it fails authentication like any other mismatch.
+    """
 
     data: bytes
     label: str
+    context: bytes = b""
 
     def __len__(self) -> int:
         return len(self.data)
 
 
-def seal(enclave: Enclave, plaintext: bytes, label: str = "") -> SealedBlob:
+def _associated_data(label: str, context: bytes) -> bytes:
+    encoded_label = label.encode("utf-8")
+    # Length-prefix the label so (label, context) pairs cannot collide
+    # across a moved boundary.
+    return (
+        _SEAL_MAGIC
+        + len(encoded_label).to_bytes(2, "big")
+        + encoded_label
+        + context
+    )
+
+
+def seal(
+    enclave: Enclave, plaintext: bytes, label: str = "", context: bytes = b""
+) -> SealedBlob:
     """Seal ``plaintext`` to ``enclave``'s identity.
 
-    ``label`` is bound as associated data: unsealing under a different
-    label fails, preventing blob-swapping between storage slots.
+    ``label`` (and ``context``, if any) is bound as associated data:
+    unsealing under a different label or context fails, preventing
+    blob-swapping between storage slots.
     """
     aead = StreamAead(enclave._sealing_key())
     frame = aead.encrypt(
-        plaintext, associated_data=_SEAL_MAGIC + label.encode("utf-8")
+        plaintext, associated_data=_associated_data(label, context)
     )
-    return SealedBlob(data=_SEAL_MAGIC + frame, label=label)
+    return SealedBlob(data=_SEAL_MAGIC + frame, label=label, context=context)
 
 
 def unseal(enclave: Enclave, blob: SealedBlob) -> bytes:
@@ -55,9 +77,10 @@ def unseal(enclave: Enclave, blob: SealedBlob) -> bytes:
     try:
         return aead.decrypt(
             blob.data[len(_SEAL_MAGIC) :],
-            associated_data=_SEAL_MAGIC + blob.label.encode("utf-8"),
+            associated_data=_associated_data(blob.label, blob.context),
         )
     except AuthenticationError as exc:
         raise SealingError(
-            "unsealing failed: wrong enclave identity, platform or label"
+            "unsealing failed: wrong enclave identity, platform, label "
+            "or context"
         ) from exc

@@ -1,0 +1,297 @@
+"""Byzantine chaos tier: adversarial fault-plan sweep with integrity on.
+
+Where ``test_chaos.py`` sweeps *crash-style* faults (drop, duplicate,
+delay, corrupt, crash, partition), this tier arms the *Byzantine*
+actions — REPLAY, WITHHOLD, EQUIVOCATE and sealed-checkpoint tampering
+— against a federation running with integrity verification enabled
+(broadcast-consistency echo, channel-transcript cross-checks and
+checkpoint freshness; see ``docs/RESILIENCE.md``).
+
+The verdict contract is the same as the crash tier, but strictly
+harder: every run must either complete with release decisions
+**bit-identical** to the fault-free reference of its (mode, collusion)
+cell, or abort with a *classified* integrity error — and every
+detection must increment its ``integrity.*`` counter.
+
+Set ``CHAOS_REPORT_PATH`` to write the per-run report and
+``CHAOS_INTEGRITY_PATH`` to write the aggregated integrity counters;
+the CI ``chaos`` job uploads both as artifacts.  Any failure
+reproduces locally from its seed alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro import StudyConfig, generate_cohort, partition_cohort
+from repro.config import (
+    CollusionPolicy,
+    ExecutionConfig,
+    FaultConfig,
+    IntegrityConfig,
+    ResilienceConfig,
+)
+from repro.core.federation import build_federation
+from repro.core.integrity import COUNTER_NAMES
+from repro.core.leader import elect_leader
+from repro.core.protocol import GenDPRProtocol
+from repro.errors import IntegrityError, ReproError, SealingError
+from repro.genomics import SyntheticSpec
+
+MEMBERS = 3
+STUDY_ID = "byzantine-sweep"
+STUDY_SEED = 5
+
+#: The sweep: 18 seeded adversarial plans (the issue floor is 16).
+#: Mode and collusion derive from the seed so the grid covers
+#: {sequential, parallel} × {f=0, f=1}.
+BYZANTINE_SEEDS = list(range(101, 119))
+#: Seeds whose plan arms broadcast equivocation.
+EQUIVOCATE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 3 == 0}
+#: Seeds whose plan serves a *stale* checkpoint at failover.
+STALE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 5 == 0 and s % 7 != 0}
+#: Seeds whose plan serves a bit-flipped checkpoint at failover.
+CORRUPT_SEEDS = {s for s in BYZANTINE_SEEDS if s % 7 == 0}
+
+_collected_runs = []
+_aggregate_counters = {name: 0 for name in COUNTER_NAMES}
+
+
+def _mode(seed: int) -> str:
+    return "parallel" if seed % 2 else "sequential"
+
+
+def _f(seed: int) -> int:
+    return 1 if seed % 4 >= 2 else 0
+
+
+def _leader_id() -> str:
+    return elect_leader(
+        [f"gdo-{i}" for i in range(MEMBERS)], STUDY_SEED, STUDY_ID
+    )
+
+
+def _fault_config(seed: int) -> FaultConfig:
+    tamper = (
+        "corrupt"
+        if seed in CORRUPT_SEEDS
+        else "stale"
+        if seed in STALE_SEEDS
+        else ""
+    )
+    return FaultConfig.byzantine(
+        seed,
+        intensity=0.1,
+        equivocate_rate=0.35 if seed in EQUIVOCATE_SEEDS else 0.0,
+        checkpoint_tamper=tamper,
+        # Tampered restores only happen at a failover, so tamper plans
+        # also crash the leader once mid-study to force one.  Ecall 5
+        # (lead_run_maf, with integrity on) sits just past the *second*
+        # checkpoint, so a "stale" plan's rolled-back blob really is
+        # older than the platform counter at restore time.
+        crash_points=((_leader_id(), 5),) if tamper else (),
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_cohort():
+    cohort, _ = generate_cohort(
+        SyntheticSpec(num_snps=80, num_case=120, num_control=100, seed=5)
+    )
+    return cohort
+
+
+def _base_config(seed: int) -> StudyConfig:
+    return StudyConfig(
+        snp_count=80,
+        study_id=STUDY_ID,
+        seed=STUDY_SEED,
+        execution=ExecutionConfig(mode=_mode(seed)),
+        collusion=(
+            CollusionPolicy.static(_f(seed))
+            if _f(seed)
+            else CollusionPolicy.none()
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def references(chaos_cohort):
+    """Fault-free reference outcomes per (mode, f) cell.
+
+    Computed with integrity *and* resilience disabled — so the sweep
+    simultaneously validates that the verification rounds change no
+    release decision.
+    """
+    refs = {}
+    for mode in ("sequential", "parallel"):
+        for f in (0, 1):
+            config = StudyConfig(
+                snp_count=80,
+                study_id=STUDY_ID,
+                seed=STUDY_SEED,
+                execution=ExecutionConfig(mode=mode),
+                collusion=(
+                    CollusionPolicy.static(f) if f else CollusionPolicy.none()
+                ),
+            )
+            federation = build_federation(
+                config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+            )
+            refs[(mode, f)] = GenDPRProtocol(federation).run()
+    return refs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def byzantine_report():
+    """Write the tier's reports if the artifact paths are configured."""
+    yield
+    if not _collected_runs:
+        return
+    report_path = os.environ.get("CHAOS_REPORT_PATH")
+    if report_path:
+        completed = sum(
+            1 for r in _collected_runs if r["outcome"] == "completed"
+        )
+        payload = {
+            "study_id": STUDY_ID,
+            "members": MEMBERS,
+            "runs": list(_collected_runs),
+            "summary": {
+                "total": len(_collected_runs),
+                "completed_identical": completed,
+                "classified_aborts": len(_collected_runs) - completed,
+            },
+        }
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    integrity_path = os.environ.get("CHAOS_INTEGRITY_PATH")
+    if integrity_path:
+        payload = {
+            "study_id": STUDY_ID,
+            "runs": len(_collected_runs),
+            "integrity_counters": dict(_aggregate_counters),
+        }
+        with open(integrity_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.mark.parametrize("seed", BYZANTINE_SEEDS)
+def test_byzantine_run_is_identical_or_classified(
+    seed, chaos_cohort, references
+):
+    config = dataclasses.replace(
+        _base_config(seed),
+        faults=_fault_config(seed),
+        integrity=IntegrityConfig.on(),
+        resilience=ResilienceConfig.supervised(
+            max_attempts=6, max_failovers=3
+        ),
+    )
+    reference = references[(_mode(seed), _f(seed))]
+    federation = build_federation(
+        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+    )
+    record = {
+        "seed": seed,
+        "mode": _mode(seed),
+        "f": _f(seed),
+        "plan": federation.fault_injector.plan.describe(),
+    }
+    try:
+        result = GenDPRProtocol(federation).run()
+    except ReproError as exc:
+        # An abort under an armed adversary must be *classified*: a
+        # detected violation (IntegrityError), a rejected tampered
+        # restore (SealingError), or a typed resilience abort — all
+        # ReproError subclasses, never a bare crash or a hang.
+        record["outcome"] = "classified_abort"
+        record["error"] = type(exc).__name__
+        if isinstance(exc, (IntegrityError, SealingError)):
+            # The typed abort must have been counted at its
+            # detection site.
+            assert federation.integrity_monitor.detections >= 1
+    else:
+        assert result.l_prime == reference.l_prime
+        assert result.l_double_prime == reference.l_double_prime
+        assert result.l_safe == reference.l_safe
+        record["outcome"] = "completed"
+        record["failovers"] = federation.failovers
+        injected = federation.fault_injector.counters()
+        if injected["equivocations"]:
+            # A completed run that absorbed an equivocation must have
+            # detected (and recovered from) every occurrence.
+            assert (
+                federation.integrity_monitor.counters()[
+                    "equivocations_detected"
+                ]
+                >= 1
+            )
+    finally:
+        record["injected"] = federation.fault_injector.counters()
+        record["integrity"] = federation.integrity_monitor.counters()
+        for name, value in record["integrity"].items():
+            _aggregate_counters[name] += value
+        _collected_runs.append(record)
+
+
+def test_sweep_covers_modes_collusion_and_adversaries():
+    cells = {(_mode(s), _f(s)) for s in BYZANTINE_SEEDS}
+    assert cells == {
+        ("sequential", 0),
+        ("sequential", 1),
+        ("parallel", 0),
+        ("parallel", 1),
+    }
+    assert len(BYZANTINE_SEEDS) >= 16
+    assert EQUIVOCATE_SEEDS and STALE_SEEDS and CORRUPT_SEEDS
+
+
+def test_tier_exercises_every_detection_path():
+    """Across the tier, each key integrity metric fired at least once.
+
+    Runs after the parametrized sweep (pytest executes tests in
+    definition order within a module), so the aggregate is complete.
+    """
+    assert len(_collected_runs) == len(BYZANTINE_SEEDS)
+    assert _aggregate_counters["equivocations_detected"] >= 1
+    assert _aggregate_counters["stale_checkpoints_rejected"] >= 1
+    assert _aggregate_counters["sealed_restore_failures"] >= 1
+    assert _aggregate_counters["quarantines"] >= 1
+
+
+def test_byzantine_replay_is_deterministic(chaos_cohort, references):
+    """The same seed reproduces the same adversary, bit for bit."""
+    seed = 105  # corrupt-checkpoint + equivocation: heaviest machinery
+    observed = []
+    for _ in range(2):
+        config = dataclasses.replace(
+            _base_config(seed),
+            faults=_fault_config(seed),
+            integrity=IntegrityConfig.on(),
+            resilience=ResilienceConfig.supervised(
+                max_attempts=6, max_failovers=3
+            ),
+        )
+        federation = build_federation(
+            config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+        )
+        try:
+            GenDPRProtocol(federation).run()
+            outcome = "completed"
+        except ReproError as exc:
+            outcome = type(exc).__name__
+        observed.append(
+            (
+                outcome,
+                federation.fault_injector.counters(),
+                federation.integrity_monitor.counters(),
+            )
+        )
+    assert observed[0] == observed[1]

@@ -7,7 +7,7 @@ import dataclasses
 import pytest
 
 from repro import StudyConfig, generate_cohort, partition_cohort
-from repro.config import FaultConfig, ResilienceConfig
+from repro.config import FaultConfig, IntegrityConfig, ResilienceConfig
 from repro.core.federation import build_federation
 from repro.core.leader import elect_leader
 from repro.core.protocol import GenDPRProtocol
@@ -15,6 +15,7 @@ from repro.errors import (
     LeaderFailoverError,
     MemberUnresponsiveError,
     ResilienceError,
+    SealingError,
 )
 from repro.genomics import SyntheticSpec
 
@@ -234,3 +235,61 @@ class TestMemberEviction:
         federation, result = _run(cohort, config)
         assert federation.fault_injector.counters()["partition_blocks"] >= 1
         assert _same_outcome(result, reference)
+
+
+class TestByzantineCheckpointRestore:
+    """Tampered sealed checkpoints at failover (docs/RESILIENCE.md).
+
+    With integrity verification on, leader ECALL 5 (``lead_run_maf``)
+    sits just past the *second* checkpoint — crashing there forces a
+    restore while a superseded sealed blob exists for the adversary to
+    serve.
+    """
+
+    def _byzantine_config(self, base_config, leader_id, tamper, failovers):
+        return dataclasses.replace(
+            base_config,
+            integrity=IntegrityConfig.on(),
+            resilience=ResilienceConfig.supervised(max_failovers=failovers),
+            faults=FaultConfig.byzantine(
+                9,
+                intensity=0.0,
+                checkpoint_tamper=tamper,
+                crash_points=((leader_id, 5),),
+            ),
+        )
+
+    def test_corrupted_checkpoint_fails_closed_against_budget(
+        self, cohort, base_config, leader_id
+    ):
+        config = self._byzantine_config(
+            base_config, leader_id, "corrupt", failovers=2
+        )
+        federation = build_federation(
+            config, partition_cohort(cohort, MEMBERS), cohort
+        )
+        with pytest.raises(SealingError):
+            GenDPRProtocol(federation).run()
+        # Every restore attempt consumed a failover and was counted:
+        # the study never proceeds on unauthenticated state.
+        assert federation.failovers == 2
+        counters = federation.integrity_monitor.counters()
+        assert counters["sealed_restore_failures"] >= 1
+        assert counters["quarantines"] >= 1
+
+    def test_stale_checkpoint_rejected_then_recovered(
+        self, cohort, base_config, reference, leader_id
+    ):
+        config = self._byzantine_config(
+            base_config, leader_id, "stale", failovers=3
+        )
+        federation = build_federation(
+            config, partition_cohort(cohort, MEMBERS), cohort
+        )
+        result = GenDPRProtocol(federation).run()
+        assert _same_outcome(result, reference)
+        counters = federation.integrity_monitor.counters()
+        assert counters["stale_checkpoints_rejected"] == 1
+        # The rejected rollback cost one failover; the clean restore
+        # that followed cost another.
+        assert federation.failovers == 2
