@@ -21,7 +21,17 @@ Quickstart::
 
 Subpackages: :mod:`repro.crypto`, :mod:`repro.tee`, :mod:`repro.net`,
 :mod:`repro.genomics`, :mod:`repro.stats`, :mod:`repro.core`,
-:mod:`repro.attacks`, :mod:`repro.bench`, :mod:`repro.obs`.
+:mod:`repro.attacks`, :mod:`repro.bench`, :mod:`repro.obs`,
+:mod:`repro.serve`.
+
+For many studies over one long-lived federation, the service form keeps
+enclaves attested and warm between requests::
+
+    from repro.serve import FederationService, ServiceConfig
+
+    with FederationService(ServiceConfig(num_members=3)) as service:
+        study_id = service.submit(cohort, config)
+        result = service.result(study_id, timeout=120)
 """
 
 from .config import (
@@ -55,8 +65,9 @@ from .genomics import (
     partition_cohort,
 )
 from .obs import RunReport
+from .serve import FederationService, ServiceConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CollusionPolicy",
@@ -68,6 +79,8 @@ __all__ = [
     "PrivacyThresholds",
     "RunReport",
     "StudyConfig",
+    "FederationService",
+    "ServiceConfig",
     "GenDPRProtocol",
     "GwasRelease",
     "StudyResult",

@@ -6,6 +6,7 @@ machinery so those files stay declarative.
 """
 
 from .fig5 import fig5_report, study_decisions
+from .serve import serve_report
 from .reporting import (
     render_collusion_table,
     render_resource_table,
@@ -31,6 +32,7 @@ from .workloads import (
 
 __all__ = [
     "fig5_report",
+    "serve_report",
     "study_decisions",
     "render_collusion_table",
     "render_resource_table",

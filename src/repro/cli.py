@@ -11,6 +11,12 @@ Five subcommands cover the adoption path of a federation operator:
   (see ``docs/OBSERVABILITY.md``).
 * ``repro report`` — pretty-print a saved RunReport, optionally
   converting its spans to Chrome ``about://tracing`` format.
+* ``repro serve`` — run a batch of studies through the long-lived
+  federation service (warm enclave pools, fair round scheduler,
+  admission control; see ``docs/SERVICE.md``), with optional scheduler
+  metrics and per-study result artifacts.
+* ``repro submit`` — submit a single study through the service request
+  path (admission → warm slot → per-request RunReport).
 * ``repro attack`` — evaluate the LR membership detector against an
   arbitrary SNP set of a saved cohort (e.g. to double-check a release).
 * ``repro info`` — describe a saved cohort bundle.
@@ -27,6 +33,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -40,10 +47,11 @@ from .config import (
     StudyConfig,
 )
 from .core.protocol import run_study
-from .errors import ReproError
+from .errors import ReproError, ServiceOverloadedError
 from .genomics import Cohort, GenotypeMatrix, SnpPanel, SyntheticSpec, generate_cohort
 from .lint.cli import configure_parser as configure_lint_parser
 from .obs import RunReport, write_chrome_trace, write_jsonl
+from .serve import FederationService, ServiceConfig
 
 _BUNDLE_KEYS = ("case", "control")
 
@@ -162,6 +170,121 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _study_config(args: argparse.Namespace, cohort: Cohort, study_id: str) -> StudyConfig:
+    thresholds = PrivacyThresholds(
+        maf_cutoff=args.maf_cutoff,
+        ld_cutoff=args.ld_cutoff,
+        false_positive_rate=args.alpha,
+        power_threshold=args.beta,
+    )
+    return StudyConfig(
+        snp_count=cohort.num_snps,
+        thresholds=thresholds,
+        collusion=_collusion_policy(args.collusion, args.members),
+        seed=args.seed,
+        study_id=study_id,
+    )
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        num_members=args.members,
+        pool_size=args.pool_size,
+        max_active=args.max_active,
+        queue_limit=args.queue_limit,
+        max_concurrent_rounds=args.max_rounds,
+        enclave_memory_budget_bytes=args.memory_budget,
+        seed=args.seed,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cohort = load_cohort_bundle(args.cohort)
+    outcomes = {}
+    with FederationService(_service_config(args)) as service:
+        submitted = []
+        for index in range(args.studies):
+            config = _study_config(
+                args, cohort, f"{args.study_prefix}-{index}"
+            )
+            while True:
+                try:
+                    submitted.append(service.submit(cohort, config))
+                    break
+                except ServiceOverloadedError:
+                    # Backpressure: wait for the queue to drain a bit.
+                    time.sleep(0.05)
+        for study_id in submitted:
+            try:
+                result = service.result(study_id, timeout=args.timeout)
+            except ReproError as exc:
+                status = service.status(study_id)
+                status["error_message"] = str(exc)
+                outcomes[study_id] = status
+                continue
+            status = service.status(study_id)
+            status.update(
+                l_safe=result.l_safe,
+                release_power=result.release_power,
+                leader=result.leader_id,
+            )
+            outcomes[study_id] = status
+        metrics = service.metrics()
+
+    done = sum(1 for o in outcomes.values() if o["status"] == "done")
+    print(
+        f"served {len(outcomes)} studies ({done} done) over "
+        f"{int(metrics['pool_slots'])} warm slots: "
+        f"{int(metrics['warm_hits'])} warm hits / "
+        f"{int(metrics['cold_provisions'])} cold provisions, "
+        f"{int(metrics['rounds_admitted'])} rounds scheduled"
+    )
+    for study_id, outcome in outcomes.items():
+        line = (
+            f"  {study_id:<20s} {outcome['status']:<10s} "
+            f"wait {outcome['wait_seconds'] * 1000:8.1f} ms  "
+            f"run {outcome['run_seconds'] * 1000:8.1f} ms"
+        )
+        if "l_safe" in outcome:
+            line += (
+                f"  |L_safe|={len(outcome['l_safe'])} "
+                f"power={outcome['release_power']:.3f}"
+            )
+        print(line)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, default=str)
+        print(f"  scheduler metrics written to {args.metrics}")
+    if args.results:
+        with open(args.results, "w", encoding="utf-8") as handle:
+            json.dump(outcomes, handle, indent=2, default=str)
+        print(f"  per-study results written to {args.results}")
+    return 0 if done == len(outcomes) else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    cohort = load_cohort_bundle(args.cohort)
+    config = _study_config(args, cohort, args.study_id)
+    service_config = ServiceConfig(
+        num_members=args.members, pool_size=1, max_active=1, seed=args.seed
+    )
+    with FederationService(service_config) as service:
+        study_id = service.submit(cohort, config)
+        result = service.result(study_id, timeout=args.timeout)
+        status = service.status(study_id)
+    print(result.summary())
+    print(
+        f"  service: slot {status['slot']} "
+        f"({'warm' if status['warm'] else 'cold'}), "
+        f"{status['rounds']} gated rounds, "
+        f"run {status['run_seconds'] * 1000:.1f} ms"
+    )
+    if args.report and result.observability is not None:
+        result.observability.save(args.report)
+        print(f"  per-request run report written to {args.report}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     report = RunReport.load(args.report)
     print(report.render())
@@ -250,6 +373,76 @@ def build_parser() -> argparse.ArgumentParser:
         "(docs/RESILIENCE.md)",
     )
     run.set_defaults(func=_cmd_run)
+
+    def add_study_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--cohort", required=True)
+        sub.add_argument("--members", type=int, default=3)
+        sub.add_argument(
+            "--collusion",
+            help="comma-separated f values, or 'conservative' for f=1..G-1",
+        )
+        sub.add_argument("--maf-cutoff", type=float, default=0.05)
+        sub.add_argument("--ld-cutoff", type=float, default=1e-5)
+        sub.add_argument("--alpha", type=float, default=0.1)
+        sub.add_argument("--beta", type=float, default=0.9)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            help="seconds to wait for each study's result",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run studies through the long-lived federation service "
+        "(docs/SERVICE.md)",
+    )
+    add_study_options(serve)
+    serve.add_argument(
+        "--studies", type=int, default=8,
+        help="number of studies to submit",
+    )
+    serve.add_argument("--study-prefix", default="serve")
+    serve.add_argument(
+        "--pool-size", type=int, default=2, help="warm substrates to keep"
+    )
+    serve.add_argument(
+        "--max-active", type=int, default=2,
+        help="studies executing concurrently",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="submissions allowed to wait before rejection",
+    )
+    serve.add_argument(
+        "--max-rounds", type=int, default=2,
+        help="protocol rounds in flight across all sessions",
+    )
+    serve.add_argument(
+        "--memory-budget", type=int, default=0,
+        help="pool-wide trusted-memory admission ceiling in bytes "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--metrics", help="write scheduler/queue/pool metrics JSON here"
+    )
+    serve.add_argument(
+        "--results", help="write per-study outcome JSON here"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one study through the service request path",
+    )
+    add_study_options(submit)
+    submit.add_argument("--study-id", default="submitted-study")
+    submit.add_argument(
+        "--report",
+        help="write the per-request RunReport JSON to this path",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     report = subparsers.add_parser(
         "report", help="pretty-print a RunReport written by 'run --report'"

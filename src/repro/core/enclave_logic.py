@@ -248,6 +248,38 @@ class GenDPREnclave(Enclave):
             )
         self._study = dict(params, member_ids=members)
         self._combos = self._build_combinations(members, list(params["f_values"]))
+        self._reset_study_state()
+
+    def _reset_study_state(self) -> None:
+        """Clear every per-study aggregate so a warm enclave can serve a
+        new study over its existing substrate (channels, signers,
+        rollback counter survive; everything a phase accumulates does
+        not).  Safe under failover too: a replacement enclave is
+        configured fresh and then ``restore_state`` overwrites exactly
+        the checkpointed fields."""
+        self._local_rows = 0
+        self._local_cols = 0
+        self._member_counts = {}
+        self._member_sizes = {}
+        self._reference_counts = None
+        self._reference_rows = 0
+        self._combo_counts = {}
+        self._combo_sizes = {}
+        self._ranking_cache = {}
+        self._member_pair_moments = {}
+        self._local_pair_moments = {}
+        self._reference_pair_moments = {}
+        self._ld_cached = set()
+        self._plain_retained = {}
+        self._retained = {}
+        self._combo_safe = {}
+        self._release_power = 0.0
+        self._lr_request_counter = 0
+        self._ld_pairs_requested = 0
+        self._ld_pairs_fetched = 0
+        self._received_retained = {}
+        self._audit_log = []
+        self._broadcast_digests = {}
 
     @staticmethod
     def _build_combinations(

@@ -225,6 +225,233 @@ def _study_params(
     }
 
 
+@dataclass
+class FederationSubstrate:
+    """The study-independent half of a federation.
+
+    Everything here is paid once — platforms, enclaves, remote
+    attestation, secure channels — and can be reused across studies:
+    none of it depends on a :class:`~repro.config.StudyConfig`.  The
+    long-lived service (:mod:`repro.serve`) keeps substrates warm in a
+    pool; :func:`bind_study` stamps a concrete study onto one.
+
+    ``topology`` records which channels exist: ``"star"`` (a single
+    designated center holds a channel to every member — the one-shot
+    path, where the leader is known before provisioning) or ``"mesh"``
+    (every pair — required for reuse, since a future study's elected
+    leader is unknown at provisioning time).
+    """
+
+    network: SimulatedNetwork
+    attestation: AttestationService
+    enclaves: Dict[str, GenDPREnclave] = field(repr=False, default_factory=dict)
+    platforms: Dict[str, Platform] = field(repr=False, default_factory=dict)
+    member_ids: List[str] = field(default_factory=list)
+    handshake_bytes: int = 0
+    data_auth_key: bytes = field(repr=False, default=b"")
+    topology: str = "mesh"
+    star_center: Optional[str] = None
+
+
+def provision_substrate(
+    member_ids: List[str],
+    *,
+    rng: DeterministicRng,
+    network: Optional[SimulatedNetwork] = None,
+    topology: str = "mesh",
+    star_center: Optional[str] = None,
+) -> FederationSubstrate:
+    """Provision platforms, enclaves and attested channels for a member set.
+
+    The RNG draw order (attestation master secret, then the dataset
+    authenticity key, then label-derived forks) is exactly the one
+    :func:`build_federation` always used, so a star substrate bound to
+    its study reproduces the historical one-shot federation bit for
+    bit.
+    """
+    if not member_ids:
+        raise ProtocolError("a federation needs at least one member")
+    member_ids = sorted(member_ids)
+    if len(set(member_ids)) != len(member_ids):
+        raise ProtocolError("duplicate GDO ids")
+    if topology not in ("star", "mesh"):
+        raise ProtocolError(f"unknown channel topology {topology!r}")
+    if topology == "star":
+        if star_center not in member_ids:
+            raise ProtocolError("star topology needs a member as its center")
+    elif star_center is not None:
+        raise ProtocolError("star_center only applies to star topology")
+
+    network = network if network is not None else SimulatedNetwork()
+    attestation = AttestationService(master_secret=rng.bytes(32))
+    data_auth_key = rng.bytes(32)
+
+    enclaves: Dict[str, GenDPREnclave] = {}
+    platforms: Dict[str, Platform] = {}
+    for gdo_id in member_ids:
+        platform = attestation.register_platform(f"platform/{gdo_id}")
+        enclave = GenDPREnclave(
+            platform_key=platform.root_key,
+            enclave_id=gdo_id,
+            data_auth_key=data_auth_key,
+            rng=rng.fork(f"enclave/{gdo_id}"),
+        )
+        network.register(gdo_id)
+        enclaves[gdo_id] = enclave
+        platforms[gdo_id] = platform
+        # Checkpoint-freshness epochs come from each platform's
+        # monotonic counter; only a leader ever advances its own, but a
+        # substrate cannot know which member future elections pick.
+        enclave.install_rollback_counter(
+            platform.monotonic_counter(ROLLBACK_COUNTER)
+        )
+
+    verifier = attestation.verifier()
+    handshake_bytes = 0
+    if topology == "star":
+        pairs = [
+            (star_center, member_id)
+            for member_id in member_ids
+            if member_id != star_center
+        ]
+    else:
+        pairs = [
+            (a, b)
+            for index, a in enumerate(member_ids)
+            for b in member_ids[index + 1:]
+        ]
+    for end_a, end_b in pairs:
+        # The historical fork label for star channels; mesh pairs get a
+        # label naming both ends.
+        label = (
+            f"channel/{end_b}"
+            if topology == "star"
+            else f"channel/{end_a}/{end_b}"
+        )
+        a_end, b_end, hs_bytes = establish_channel(
+            enclaves[end_a],
+            platforms[end_a],
+            enclaves[end_b],
+            platforms[end_b],
+            verifier,
+            rng=rng.fork(label),
+        )
+        enclaves[end_a].install_channel(a_end)
+        enclaves[end_b].install_channel(b_end)
+        handshake_bytes += hs_bytes
+
+    return FederationSubstrate(
+        network=network,
+        attestation=attestation,
+        enclaves=enclaves,
+        platforms=platforms,
+        member_ids=member_ids,
+        handshake_bytes=handshake_bytes,
+        data_auth_key=data_auth_key,
+        topology=topology,
+        star_center=star_center,
+    )
+
+
+def bind_study(
+    substrate: FederationSubstrate,
+    config: StudyConfig,
+    datasets: List[LocalDataset],
+    cohort: Cohort,
+) -> Federation:
+    """Stamp one study onto a (possibly reused) substrate.
+
+    Elects the leader, resets every enclave's per-study state via
+    ``configure``, installs the study's fault injector (or clears a
+    previous study's), signs and loads the member datasets and the
+    reference population, and returns a ready :class:`Federation`.
+    """
+    if not datasets:
+        raise ProtocolError("a federation needs at least one member")
+    config.collusion.validate_for(len(datasets))
+    member_ids = sorted(d.gdo_id for d in datasets)
+    if member_ids != substrate.member_ids:
+        raise ProtocolError(
+            f"datasets name members {member_ids}, but the substrate was "
+            f"provisioned for {substrate.member_ids}"
+        )
+
+    leader_id = elect_leader(member_ids, config.seed, config.study_id)
+    if substrate.topology == "star" and leader_id != substrate.star_center:
+        raise ProtocolError(
+            f"study elects {leader_id!r} but the star substrate centers "
+            f"on {substrate.star_center!r}; reuse needs a mesh substrate"
+        )
+
+    network = substrate.network
+    fault_injector = None
+    ecall_interceptor = None
+    if config.faults.enabled:
+        # Local import keeps repro.faults optional on the default path.
+        from ..faults import FaultInjector, FaultPlan
+
+        fault_injector = FaultInjector(
+            FaultPlan.from_config(config.faults), leader_id=leader_id
+        )
+        network.install_fault_injector(fault_injector)
+        ecall_interceptor = fault_injector.on_ecall
+    else:
+        network.uninstall_fault_injector()
+
+    hosts: Dict[str, GdoHost] = {}
+    for gdo_id in member_ids:
+        hosts[gdo_id] = GdoHost(
+            gdo_id=gdo_id,
+            enclave=guarded(substrate.enclaves[gdo_id], ecall_interceptor),
+            network=network,
+        )
+
+    # Configure every enclave with the agreed study parameters; this
+    # also clears any per-study aggregates a previous study left behind.
+    params = _study_params(config, member_ids, leader_id)
+    for enclave in substrate.enclaves.values():
+        enclave.ecall("configure", params, label="setup")
+
+    # Chaos runs may compromise the leader's broadcast path; binding
+    # with no adversary clears one a previous study installed.
+    adversary = (
+        fault_injector.equivocation_adversary()
+        if fault_injector is not None
+        else None
+    )
+    substrate.enclaves[leader_id].install_equivocation_adversary(adversary)
+
+    # Members verify and seal their signed local datasets (binary fast
+    # path; the text SignedVcf container is accepted equivalently).
+    data_signer = MacSigner(substrate.data_auth_key, purpose="vcf-dataset")
+    for dataset in datasets:
+        signed = SignedMatrix.create(dataset.case, data_signer)
+        hosts[dataset.gdo_id].store = substrate.enclaves[dataset.gdo_id].ecall(
+            "load_local_dataset", signed, label="setup"
+        )
+
+    # The leader seals the public reference population for streaming.
+    hosts[leader_id].reference_store = substrate.enclaves[leader_id].ecall(
+        "load_reference_matrix",
+        cohort.reference.to_bytes(),
+        cohort.reference.num_individuals,
+        label="setup",
+    )
+
+    return Federation(
+        config=config,
+        network=network,
+        attestation=substrate.attestation,
+        leader_id=leader_id,
+        hosts=hosts,
+        enclaves=substrate.enclaves,
+        platforms=substrate.platforms,
+        handshake_bytes=substrate.handshake_bytes,
+        data_auth_key=substrate.data_auth_key,
+        fault_injector=fault_injector,
+    )
+
+
 def build_federation(
     config: StudyConfig,
     datasets: List[LocalDataset],
@@ -233,6 +460,10 @@ def build_federation(
     network: Optional[SimulatedNetwork] = None,
 ) -> Federation:
     """Provision a federation for one study.
+
+    One-shot path: provisions a star substrate centered on the elected
+    leader and immediately binds the study to it.  The service keeps
+    mesh substrates warm instead and calls :func:`bind_study` directly.
 
     Args:
         config: study parameters (thresholds, collusion policy, seed).
@@ -245,110 +476,13 @@ def build_federation(
     """
     if not datasets:
         raise ProtocolError("a federation needs at least one member")
-    config.collusion.validate_for(len(datasets))
     member_ids = sorted(d.gdo_id for d in datasets)
-    if len(set(member_ids)) != len(member_ids):
-        raise ProtocolError("duplicate GDO ids")
-
-    rng = DeterministicRng(f"federation/{config.study_id}/{config.seed}")
-    network = network or SimulatedNetwork()
-    attestation = AttestationService(master_secret=rng.bytes(32))
-    data_auth_key = rng.bytes(32)
-    data_signer = MacSigner(data_auth_key, purpose="vcf-dataset")
-
     leader_id = elect_leader(member_ids, config.seed, config.study_id)
-
-    fault_injector = None
-    ecall_interceptor = None
-    if config.faults.enabled:
-        # Local import keeps repro.faults optional on the default path.
-        from ..faults import FaultInjector, FaultPlan
-
-        fault_injector = FaultInjector(
-            FaultPlan.from_config(config.faults), leader_id=leader_id
-        )
-        network.install_fault_injector(fault_injector)
-        ecall_interceptor = fault_injector.on_ecall
-
-    enclaves: Dict[str, GenDPREnclave] = {}
-    platforms: Dict[str, Platform] = {}
-    hosts: Dict[str, GdoHost] = {}
-    for dataset in sorted(datasets, key=lambda d: d.gdo_id):
-        platform = attestation.register_platform(f"platform/{dataset.gdo_id}")
-        enclave = GenDPREnclave(
-            platform_key=platform.root_key,
-            enclave_id=dataset.gdo_id,
-            data_auth_key=data_auth_key,
-            rng=rng.fork(f"enclave/{dataset.gdo_id}"),
-        )
-        network.register(dataset.gdo_id)
-        enclaves[dataset.gdo_id] = enclave
-        platforms[dataset.gdo_id] = platform
-        hosts[dataset.gdo_id] = GdoHost(
-            gdo_id=dataset.gdo_id,
-            enclave=guarded(enclave, ecall_interceptor),
-            network=network,
-        )
-
-    # Mutual attestation: the leader enclave pairs with every member.
-    verifier = attestation.verifier()
-    handshake_bytes = 0
-    for member_id in member_ids:
-        if member_id == leader_id:
-            continue
-        leader_end, member_end, hs_bytes = establish_channel(
-            enclaves[leader_id],
-            platforms[leader_id],
-            enclaves[member_id],
-            platforms[member_id],
-            verifier,
-            rng=rng.fork(f"channel/{member_id}"),
-        )
-        enclaves[leader_id].install_channel(leader_end)
-        enclaves[member_id].install_channel(member_end)
-        handshake_bytes += hs_bytes
-
-    # Configure every enclave with the agreed study parameters.
-    params = _study_params(config, member_ids, leader_id)
-    for enclave in enclaves.values():
-        enclave.ecall("configure", params, label="setup")
-
-    # Checkpoint-freshness epochs come from the leader platform's
-    # monotonic counter; chaos runs may additionally compromise the
-    # leader's broadcast path.
-    enclaves[leader_id].install_rollback_counter(
-        platforms[leader_id].monotonic_counter(ROLLBACK_COUNTER)
-    )
-    if fault_injector is not None:
-        adversary = fault_injector.equivocation_adversary()
-        if adversary is not None:
-            enclaves[leader_id].install_equivocation_adversary(adversary)
-
-    # Members verify and seal their signed local datasets (binary fast
-    # path; the text SignedVcf container is accepted equivalently).
-    for dataset in datasets:
-        signed = SignedMatrix.create(dataset.case, data_signer)
-        hosts[dataset.gdo_id].store = enclaves[dataset.gdo_id].ecall(
-            "load_local_dataset", signed, label="setup"
-        )
-
-    # The leader seals the public reference population for streaming.
-    hosts[leader_id].reference_store = enclaves[leader_id].ecall(
-        "load_reference_matrix",
-        cohort.reference.to_bytes(),
-        cohort.reference.num_individuals,
-        label="setup",
-    )
-
-    return Federation(
-        config=config,
+    substrate = provision_substrate(
+        member_ids,
+        rng=DeterministicRng(f"federation/{config.study_id}/{config.seed}"),
         network=network,
-        attestation=attestation,
-        leader_id=leader_id,
-        hosts=hosts,
-        enclaves=enclaves,
-        platforms=platforms,
-        handshake_bytes=handshake_bytes,
-        data_auth_key=data_auth_key,
-        fault_injector=fault_injector,
+        topology="star",
+        star_center=leader_id,
     )
+    return bind_study(substrate, config, datasets, cohort)

@@ -27,7 +27,6 @@ from ..errors import (
     ProtocolError,
     SerializationError,
 )
-from ..genomics.partition import partition_cohort
 from ..genomics.population import Cohort
 from ..net import Envelope, SimulatedNetwork
 from ..obs import MetricsRegistry, RunReport, SpanCollector, config_fingerprint
@@ -43,7 +42,7 @@ from ..obs.bridge import (
     record_timings,
 )
 from ..obs.tracer import TRACER
-from .federation import Federation, build_federation
+from .federation import Federation
 from .phases import CollusionReport, CombinationOutcome, StudyResult
 from .timing import (
     DATA_AGGREGATION,
@@ -69,6 +68,10 @@ class GenDPRProtocol:
         #: Stats registered by a supervising ProtocolSupervisor, if any.
         self._supervision: Optional[Dict[str, object]] = None
         self._resilient = None
+        #: Optional per-round hook installed by the serving layer:
+        #: ``gate(kind)`` returns a context manager entered around every
+        #: OCALL round (fair scheduling + cancellation points).
+        self._round_gate = None
         if federation.config.resilience.enabled:
             from .resilience import ResilientExchange
 
@@ -77,6 +80,22 @@ class GenDPRProtocol:
         else:
             self._exchange = self._ocall_exchange
         self._integrity = federation.config.integrity.enabled
+
+    def install_round_gate(self, gate) -> None:
+        """Install a round gate: ``gate(kind)`` -> context manager.
+
+        The gate is entered around every OCALL round on both the plain
+        and the resilient exchange path.  The service scheduler uses it
+        for fair round-interleaving across concurrent studies and as
+        the cancellation point (it raises
+        :class:`~repro.errors.StudyCancelledError` at a round boundary,
+        never mid-round).
+        """
+        self._round_gate = gate
+
+    @property
+    def round_gate(self):
+        return self._round_gate
 
     @property
     def federation(self) -> Federation:
@@ -95,6 +114,14 @@ class GenDPRProtocol:
         bit-identical responses (and therefore study outcomes) — only
         the wall clock differs.
         """
+        if self._round_gate is not None:
+            with self._round_gate(kind):
+                return self._run_ocall_round(kind, frames)
+        return self._run_ocall_round(kind, frames)
+
+    def _run_ocall_round(
+        self, kind: str, frames: Dict[str, bytes]
+    ) -> Dict[str, bytes]:
         if self._federation.leader_id in frames:
             raise ProtocolError("leader cannot ocall itself")
         injector = self._federation.fault_injector
@@ -600,25 +627,18 @@ def run_study(
 
     This is the library's front door for the common case; examples and
     benchmarks use it, while tests that need to poke at internals build
-    the federation explicitly.
+    the federation explicitly.  Provisioning goes through
+    :class:`~repro.core.provision.ProvisionedFederation` — the same
+    path the CLI and the long-lived service use.
     """
-    if config.snp_count != cohort.num_snps:
-        raise ProtocolError(
-            f"config covers {config.snp_count} SNPs, cohort has {cohort.num_snps}"
-        )
-    datasets = partition_cohort(cohort, num_members, shuffle_seed=shuffle_seed)
-    obs_config = config.observability
-    if obs_config.enabled and not TRACER.enabled:
-        # Activate the collector around provisioning too, so leader
-        # election and attestation land in the same trace as the run;
-        # GenDPRProtocol.run() joins the active collector.
-        collector = SpanCollector(max_spans=obs_config.max_spans)
-        with TRACER.activated(
-            collector, capture_messages=obs_config.capture_messages
-        ):
-            federation = build_federation(
-                config, datasets, cohort, network=network
-            )
-            return GenDPRProtocol(federation).run()
-    federation = build_federation(config, datasets, cohort, network=network)
-    return GenDPRProtocol(federation).run()
+    # Local import: provision builds on this module.
+    from .provision import ProvisionedFederation
+
+    with ProvisionedFederation(
+        cohort,
+        config,
+        num_members,
+        network=network,
+        shuffle_seed=shuffle_seed,
+    ) as provisioned:
+        return provisioned.run()

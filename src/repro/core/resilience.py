@@ -202,6 +202,13 @@ class ResilientExchange:
     # -- round driver --------------------------------------------------------
 
     def __call__(self, kind: str, frames: Dict[str, bytes]) -> Dict[str, bytes]:
+        gate = self._protocol.round_gate
+        if gate is not None:
+            with gate(kind):
+                return self._run_round(kind, frames)
+        return self._run_round(kind, frames)
+
+    def _run_round(self, kind: str, frames: Dict[str, bytes]) -> Dict[str, bytes]:
         federation = self._federation
         if federation.leader_id in frames:
             raise ProtocolError("leader cannot ocall itself")

@@ -256,3 +256,35 @@ class ObservabilityError(ReproError):
     and invalid histogram or quantile parameters — never on the
     disabled (null-sink) fast path, which cannot fail.
     """
+
+
+# ---------------------------------------------------------------------------
+# Service (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the long-lived federation service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a submission (queue at capacity).
+
+    Backpressure is explicit: the service bounds its queue and rejects
+    new studies with this classified error instead of accepting
+    unbounded work and degrading every in-flight session.
+    """
+
+
+class StudyCancelledError(ServiceError):
+    """A study session was cancelled by the client.
+
+    Raised inside the session's protocol driver at the next round
+    boundary after :meth:`~repro.serve.FederationService.cancel`, and
+    surfaced from :meth:`~repro.serve.FederationService.result` for
+    sessions that ended cancelled.
+    """
+
+
+class UnknownStudyError(ServiceError):
+    """A service request referenced a study id it never accepted."""

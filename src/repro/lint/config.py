@@ -36,6 +36,7 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "tee": ("repro.tee",),
     "net": ("repro.net",),
     "resilience": ("repro.core.resilience", "repro.net"),
+    "serve": ("repro.serve",),
 }
 
 DEFAULT_BASELINE = "lint-baseline.json"

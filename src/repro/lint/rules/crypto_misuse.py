@@ -83,7 +83,7 @@ class CryptoMisuseRule(Rule):
         "unique: variable-time compares, literal secrets and truncated "
         "digests silently weaken the attested trust chain"
     )
-    default_scopes = ("crypto", "tee")
+    default_scopes = ("crypto", "tee", "serve")
 
     def check(self, module: ModuleInfo) -> Iterable[Finding]:
         sensitive = self.option_tuple("sensitive_parts", SENSITIVE_PARTS)

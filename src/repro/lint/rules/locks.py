@@ -163,7 +163,7 @@ class LockDisciplineRule(Rule):
         "the ThreadPoolExecutor fan-out stays deadlock-free only while "
         "every thread acquires locks in one global order"
     )
-    default_scopes = ("net", "resilience")
+    default_scopes = ("net", "resilience", "serve")
 
     def __init__(self, options: "dict[str, object]"):
         super().__init__(options)

@@ -7,12 +7,13 @@
 """
 
 from .message import Envelope, LinkStats
-from .network import SimulatedNetwork
+from .network import ScopedNetwork, SimulatedNetwork
 from .serialization import decode, encode, encoded_size
 
 __all__ = [
     "Envelope",
     "LinkStats",
+    "ScopedNetwork",
     "SimulatedNetwork",
     "decode",
     "encode",

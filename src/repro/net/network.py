@@ -23,6 +23,7 @@ under a shared stats lock.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import defaultdict, deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
@@ -31,6 +32,11 @@ from ..config import NetworkProfile
 from ..errors import NetworkError, UnknownPeerError
 from ..obs.tracer import TRACER
 from .message import Envelope, LinkStats
+
+#: Separator between a scope namespace and a logical node id in the
+#: physical registry.  Plain registrations may not contain it, so a
+#: namespaced node can never be spoofed from outside its scope.
+NAMESPACE_SEPARATOR = "//"
 
 
 class SimulatedNetwork:
@@ -43,6 +49,7 @@ class SimulatedNetwork:
         self._links: Dict[Tuple[str, str], LinkStats] = defaultdict(LinkStats)
         self._partitioned: set[str] = set()
         self._simulated_time = 0.0
+        self._namespaces: set[str] = set()
         #: Guards topology (registration/partitions) and the link/clock
         #: accounting; per-inbox delivery uses the per-node locks.
         self._stats_lock = threading.Lock()
@@ -57,6 +64,15 @@ class SimulatedNetwork:
         """Attach a node; duplicate registration is an error (typo guard)."""
         if not node_id:
             raise NetworkError("node_id must be non-empty")
+        if NAMESPACE_SEPARATOR in node_id:
+            raise NetworkError(
+                f"node id {node_id!r} contains the reserved namespace "
+                f"separator {NAMESPACE_SEPARATOR!r}; register through a "
+                f"scope instead"
+            )
+        self._register_physical(node_id)
+
+    def _register_physical(self, node_id: str) -> None:
         with self._stats_lock:
             if node_id in self._inboxes:
                 raise NetworkError(f"node {node_id!r} already registered")
@@ -98,10 +114,19 @@ class SimulatedNetwork:
         self._fault_injector = injector
         injector.attach(self)
 
+    def uninstall_fault_injector(self) -> None:
+        """Restore the direct delivery path (between reused studies)."""
+        self._fault_injector = None
+
     def _deliver(self, envelope: Envelope) -> None:
         """Append to the receiver's inbox (fault-injector delivery hook)."""
-        with self._inbox_locks[envelope.receiver]:
-            self._inboxes[envelope.receiver].append(envelope)
+        self._deliver_to(envelope.receiver, envelope)
+
+    def _deliver_to(self, inbox_id: str, envelope: Envelope) -> None:
+        """Append to a named inbox (scopes deliver logical envelopes
+        into physically-keyed inboxes, so the two ids can differ)."""
+        with self._inbox_locks[inbox_id]:
+            self._inboxes[inbox_id].append(envelope)
 
     def advance_clock(self, seconds: float) -> float:
         """Advance the simulated clock (retry backoff); returns new time."""
@@ -128,31 +153,43 @@ class SimulatedNetwork:
 
     def send(self, envelope: Envelope) -> None:
         """Deliver one envelope, advancing the simulated clock."""
-        self._require_connected(envelope.sender)
-        self._require_connected(envelope.receiver)
-        if envelope.sender == envelope.receiver:
-            raise NetworkError("a node cannot message itself over the network")
-        wire_bytes = envelope.size()
-        advance = self._profile.transfer_time(wire_bytes)
-        with self._stats_lock:
-            self._links[(envelope.sender, envelope.receiver)].record(envelope)
-            self._simulated_time += advance
-            sim_time = self._simulated_time
+        advance, sim_time = self._account_send(
+            envelope.sender, envelope.receiver, envelope
+        )
         if self._fault_injector is not None:
             self._fault_injector.on_send(envelope)
         else:
-            with self._inbox_locks[envelope.receiver]:
-                self._inboxes[envelope.receiver].append(envelope)
+            self._deliver_to(envelope.receiver, envelope)
         if TRACER.enabled and TRACER.capture_messages:
             TRACER.event(
                 "net.send",
                 sender=envelope.sender,
                 receiver=envelope.receiver,
                 tag=envelope.tag,
-                wire_bytes=wire_bytes,
+                wire_bytes=envelope.size(),
                 clock_advance_s=advance,
                 sim_time_s=sim_time,
             )
+
+    def _account_send(
+        self, link_sender: str, link_receiver: str, envelope: Envelope
+    ) -> Tuple[float, float]:
+        """Validate one send and charge its traffic to a link.
+
+        Shared by the direct path and :class:`ScopedNetwork` (which
+        charges a logical envelope to a physically-keyed link).  Returns
+        ``(clock_advance, new_simulated_time)``.
+        """
+        self._require_connected(link_sender)
+        self._require_connected(link_receiver)
+        if link_sender == link_receiver:
+            raise NetworkError("a node cannot message itself over the network")
+        advance = self._profile.transfer_time(envelope.size())
+        with self._stats_lock:
+            self._links[(link_sender, link_receiver)].record(envelope)
+            self._simulated_time += advance
+            sim_time = self._simulated_time
+        return advance, sim_time
 
     def broadcast(
         self, sender: str, receivers: Iterable[str], tag: str, body: bytes
@@ -206,21 +243,37 @@ class SimulatedNetwork:
     def drain(self, node_id: str, tag: str, count: int) -> List[Envelope]:
         """Receive exactly ``count`` messages with ``tag``.
 
-        All-or-nothing: if any receive fails (inbox runs empty, tag
-        mismatch), messages already popped are restored to the *front*
-        of the inbox in their original order before the error
-        propagates, so a failed drain never loses envelopes.
+        All-or-nothing *and atomic*: the whole batch is validated and
+        popped under the inbox lock, so a failed drain never loses
+        envelopes and a concurrent sender or drainer can never observe
+        (or interleave with) a half-popped batch.
         """
-        received: List[Envelope] = []
-        try:
-            for _ in range(count):
-                received.append(self.receive(node_id, tag))
-        except Exception:
-            with self._inbox_locks[node_id]:
-                inbox = self._inboxes[node_id]
-                for envelope in reversed(received):
-                    inbox.appendleft(envelope)
-            raise
+        self._require_connected(node_id)
+        with self._inbox_locks[node_id]:
+            inbox = self._inboxes[node_id]
+            for index, envelope in enumerate(
+                itertools.islice(inbox, count)
+            ):
+                if envelope.tag != tag:
+                    pending = [e.tag for e in itertools.islice(
+                        inbox, index, None
+                    )]
+                    raise NetworkError(
+                        f"{node_id!r} expected tag {tag!r}, got "
+                        f"{envelope.tag!r} (pending tags: {pending})"
+                    )
+            if len(inbox) < count:
+                raise NetworkError(f"inbox of {node_id!r} is empty")
+            received = [inbox.popleft() for _ in range(count)]
+        if TRACER.enabled and TRACER.capture_messages:
+            for envelope in received:
+                TRACER.event(
+                    "net.recv",
+                    node=node_id,
+                    sender=envelope.sender,
+                    tag=envelope.tag,
+                    wire_bytes=envelope.size(),
+                )
         return received
 
     def pending(self, node_id: str) -> int:
@@ -265,3 +318,215 @@ class SimulatedNetwork:
                 for link, stats in sorted(self._links.items())
                 if stats.messages
             }
+
+    # -- Scopes ----------------------------------------------------------------
+
+    def scope(self, namespace: str) -> "ScopedNetwork":
+        """Open a namespaced view of this router for one study session.
+
+        Nodes registered through the returned :class:`ScopedNetwork`
+        live under ``{namespace}//{logical_id}`` in the physical
+        registry, so two concurrent sessions can both register
+        ``gdo-0`` without colliding, while all traffic still flows (and
+        is accounted) on the shared router.  Each scope carries its own
+        simulated clock, so one session's retry backoff never skews
+        another's timings.
+        """
+        if not namespace:
+            raise NetworkError("scope namespace must be non-empty")
+        if NAMESPACE_SEPARATOR in namespace:
+            raise NetworkError(
+                f"scope namespace {namespace!r} contains the reserved "
+                f"separator {NAMESPACE_SEPARATOR!r}"
+            )
+        with self._stats_lock:
+            if namespace in self._namespaces:
+                raise NetworkError(
+                    f"scope {namespace!r} is already open on this router"
+                )
+            self._namespaces.add(namespace)
+        return ScopedNetwork(self, namespace)
+
+    def release_scope(self, scope: "ScopedNetwork") -> None:
+        """Tear a scope down: drop its inboxes and free its namespace."""
+        prefix = scope.namespace + NAMESPACE_SEPARATOR
+        with self._stats_lock:
+            doomed = [node for node in self._inboxes if node.startswith(prefix)]
+            for node in doomed:
+                del self._inboxes[node]
+                del self._inbox_locks[node]
+                self._partitioned.discard(node)
+            self._namespaces.discard(scope.namespace)
+
+
+class ScopedNetwork:
+    """A per-session namespaced view over a shared :class:`SimulatedNetwork`.
+
+    Exposes the full router surface under *logical* node ids; every
+    physical registration, inbox and link is keyed by
+    ``{namespace}//{logical_id}`` on the parent.  Envelopes keep their
+    logical sender/receiver end to end (only inbox *keys* are
+    namespaced), so protocol code and byte accounting behave exactly as
+    on a private router — concurrent sessions stay bit-identical to
+    solo runs.
+
+    The scope carries its own simulated clock: message transfer time
+    accrues on both the scope and the parent, but :meth:`advance_clock`
+    (retry backoff) advances only this scope, isolating sessions that
+    share the router.  A fault injector installed on a scope sees
+    logical envelopes, so deterministic fault schedules also match solo
+    runs.
+    """
+
+    def __init__(self, parent: SimulatedNetwork, namespace: str):
+        self._parent = parent
+        self.namespace = namespace
+        self._prefix = namespace + NAMESPACE_SEPARATOR
+        self._local: set[str] = set()
+        self._local_lock = threading.Lock()
+        self._simulated_time = 0.0
+        self._fault_injector = None
+
+    def _physical(self, node_id: str) -> str:
+        return self._prefix + node_id
+
+    # -- Topology ---------------------------------------------------------------
+
+    def register(self, node_id: str) -> None:
+        if not node_id:
+            raise NetworkError("node_id must be non-empty")
+        if NAMESPACE_SEPARATOR in node_id:
+            raise NetworkError(
+                f"node id {node_id!r} contains the reserved namespace "
+                f"separator {NAMESPACE_SEPARATOR!r}"
+            )
+        self._parent._register_physical(self._physical(node_id))
+        with self._local_lock:
+            self._local.add(node_id)
+
+    def nodes(self) -> List[str]:
+        with self._local_lock:
+            return sorted(self._local)
+
+    def partition(self, node_id: str) -> None:
+        self._parent.partition(self._physical(node_id))
+
+    def heal(self, node_id: str) -> None:
+        self._parent.heal(self._physical(node_id))
+
+    # -- Fault injection ---------------------------------------------------------
+
+    def install_fault_injector(self, injector) -> None:
+        """Install a *per-session* injector; it sees logical envelopes."""
+        self._fault_injector = injector
+        injector.attach(self)
+
+    def uninstall_fault_injector(self) -> None:
+        """Restore the direct delivery path (between reused studies)."""
+        self._fault_injector = None
+
+    def _deliver(self, envelope: Envelope) -> None:
+        """Fault-injector delivery hook (logical envelope in)."""
+        self._parent._deliver_to(self._physical(envelope.receiver), envelope)
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance only this scope's clock; returns the new scope time."""
+        if seconds < 0:
+            raise NetworkError("cannot advance the clock backwards")
+        with self._parent._stats_lock:
+            self._simulated_time += seconds
+            return self._simulated_time
+
+    def flush(self, node_id: str) -> int:
+        return self._parent.flush(self._physical(node_id))
+
+    # -- Messaging ---------------------------------------------------------------
+
+    def send(self, envelope: Envelope) -> None:
+        """Deliver one logical envelope over the shared router."""
+        receiver_physical = self._physical(envelope.receiver)
+        advance, _ = self._parent._account_send(
+            self._physical(envelope.sender), receiver_physical, envelope
+        )
+        with self._parent._stats_lock:
+            self._simulated_time += advance
+            sim_time = self._simulated_time
+        if self._fault_injector is not None:
+            self._fault_injector.on_send(envelope)
+        else:
+            self._parent._deliver_to(receiver_physical, envelope)
+        if TRACER.enabled and TRACER.capture_messages:
+            TRACER.event(
+                "net.send",
+                scope=self.namespace,
+                sender=envelope.sender,
+                receiver=envelope.receiver,
+                tag=envelope.tag,
+                wire_bytes=envelope.size(),
+                clock_advance_s=advance,
+                sim_time_s=sim_time,
+            )
+
+    def broadcast(
+        self, sender: str, receivers: Iterable[str], tag: str, body: bytes
+    ) -> int:
+        targets = [receiver for receiver in receivers if receiver != sender]
+        self._parent._require_connected(self._physical(sender))
+        for receiver in targets:
+            self._parent._require_connected(self._physical(receiver))
+        for receiver in targets:
+            self.send(
+                Envelope(sender=sender, receiver=receiver, tag=tag, body=body)
+            )
+        return len(targets)
+
+    def receive(self, node_id: str, tag: Optional[str] = None) -> Envelope:
+        return self._parent.receive(self._physical(node_id), tag)
+
+    def drain(self, node_id: str, tag: str, count: int) -> List[Envelope]:
+        return self._parent.drain(self._physical(node_id), tag, count)
+
+    def pending(self, node_id: str) -> int:
+        return self._parent.pending(self._physical(node_id))
+
+    # -- Accounting ----------------------------------------------------------------
+
+    @property
+    def simulated_time(self) -> float:
+        """Seconds of simulated time accumulated by *this scope*."""
+        with self._parent._stats_lock:
+            return self._simulated_time
+
+    def link_stats(self, sender: str, receiver: str) -> LinkStats:
+        return self._parent.link_stats(
+            self._physical(sender), self._physical(receiver)
+        )
+
+    def links(self) -> Dict[Tuple[str, str], LinkStats]:
+        """Per-link stats of this scope's links, under logical ids."""
+        scoped: Dict[Tuple[str, str], LinkStats] = {}
+        with self._parent._stats_lock:
+            for (sender, receiver), stats in self._parent._links.items():
+                if not stats.messages:
+                    continue
+                if sender.startswith(self._prefix) and receiver.startswith(
+                    self._prefix
+                ):
+                    scoped[
+                        (sender[len(self._prefix):],
+                         receiver[len(self._prefix):])
+                    ] = stats
+        return scoped
+
+    def total_stats(self) -> LinkStats:
+        total = LinkStats()
+        for stats in self.links().values():
+            total.merge(stats)
+        return total
+
+    def traffic_matrix(self) -> Dict[Tuple[str, str], int]:
+        return {
+            link: stats.wire_bytes
+            for link, stats in sorted(self.links().items())
+            if stats.messages
+        }

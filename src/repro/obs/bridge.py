@@ -192,6 +192,36 @@ def record_spans(registry: MetricsRegistry, spans: Iterable[Span]) -> None:
     registry.counter("obs.spans").inc(len(spans))
 
 
+def record_service(registry: MetricsRegistry, stats: Dict[str, object]) -> None:
+    """Feed :class:`~repro.serve.FederationService` stats into metrics.
+
+    Counters (submissions, completions, rejections, warm pool hits,
+    cold provisions, retired slots, gated rounds) land under
+    ``serve.*``; levels and durations (queue depth, active sessions,
+    wait/wall seconds, warm-hit rate) are gauges.  The service calls
+    this for its aggregate snapshot and once per finished session, so
+    a session's RunReport carries the same namespace the soak-job
+    artifact uses.
+    """
+    gauge_keys = {
+        "queue_depth",
+        "active_sessions",
+        "queue_depth_high_water",
+        "warm_hit_rate",
+        "wait_seconds",
+        "run_seconds",
+        "round_wait_seconds",
+        "pool_memory_bytes",
+    }
+    for name, value in sorted(stats.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if name in gauge_keys or name.endswith("_seconds"):
+            registry.gauge(f"serve.{metric_slug(name)}").set(float(value))
+        else:
+            registry.counter(f"serve.{metric_slug(name)}").inc(int(value))
+
+
 def phase_labels(spans: Iterable[Span]) -> List[str]:
     """Distinct phase labels in span order (debug/report helper)."""
     seen: List[str] = []

@@ -1,0 +1,68 @@
+"""Configuration of the long-lived federation service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and admission parameters of a :class:`FederationService`.
+
+    Attributes:
+        num_members: federation size every warm substrate is provisioned
+            for; every submitted study runs over this many GDOs.
+        pool_size: warm substrates kept attested and ready.
+        max_active: studies executing concurrently; bounded by
+            ``pool_size`` since every running study owns one slot.
+        queue_limit: submissions allowed to wait for a slot; one more
+            raises :class:`~repro.errors.ServiceOverloadedError`.
+        max_concurrent_rounds: OCALL rounds in flight across all
+            sessions — the fair scheduler's bounded enclave budget.
+        enclave_memory_budget_bytes: pool-wide trusted-memory admission
+            ceiling (from :mod:`repro.tee.resources` metering); ``0``
+            disables the check.
+        service_id: namespace root for pool network scopes and RNG
+            streams.
+        seed: base seed for substrate provisioning RNG streams.
+    """
+
+    num_members: int = 3
+    pool_size: int = 2
+    max_active: int = 2
+    queue_limit: int = 8
+    max_concurrent_rounds: int = 2
+    enclave_memory_budget_bytes: int = 0
+    service_id: str = "service-0"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.num_members >= 1, "a federation needs at least 1 member")
+        _require(self.pool_size >= 1, "the pool needs at least 1 slot")
+        _require(self.max_active >= 1, "max_active must be at least 1")
+        _require(
+            self.max_active <= self.pool_size,
+            "max_active cannot exceed pool_size (each running study owns "
+            "a slot)",
+        )
+        _require(self.queue_limit >= 0, "queue_limit must be non-negative")
+        _require(
+            self.max_concurrent_rounds >= 1,
+            "max_concurrent_rounds must be at least 1",
+        )
+        _require(
+            self.enclave_memory_budget_bytes >= 0,
+            "enclave_memory_budget_bytes must be non-negative",
+        )
+        _require(bool(self.service_id), "service_id must be non-empty")
+        _require(
+            "//" not in self.service_id,
+            "service_id may not contain the network namespace separator",
+        )

@@ -1,0 +1,121 @@
+"""Fair round-interleaving across concurrent study sessions.
+
+The service does not give each running study free rein over the shared
+process: every OCALL round passes through a :class:`FairRoundGate`
+installed on the study's protocol
+(:meth:`~repro.core.protocol.GenDPRProtocol.install_round_gate`).  The
+gate bounds how many rounds are in flight at once (the service's
+enclave budget) and admits waiters strictly first-come-first-served, so
+a long study cannot starve a short one — each session re-queues for
+every round, which interleaves them round-robin under contention.
+
+Round boundaries are also the cancellation points: a cancelled session
+raises :class:`~repro.errors.StudyCancelledError` *before* entering its
+next round, never mid-round, so no exchange is ever left half-executed.
+(The slot is still retired afterwards: frames for the aborted round may
+already have advanced channel sequence numbers on one side.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict
+
+from ..errors import StudyCancelledError
+from .session import StudySession
+
+
+class FairRoundGate:
+    """Bounded, FIFO-fair admission of protocol rounds."""
+
+    def __init__(self, max_concurrent_rounds: int):
+        self._max = max_concurrent_rounds
+        self._admission = threading.Condition()
+        self._waiting: Deque[object] = deque()
+        self._active = 0
+        self._rounds_admitted = 0
+        self._wait_seconds = 0.0
+        self._waiters_high_water = 0
+
+    def session_gate(self, session: StudySession):
+        """The ``gate(kind)`` callable one session's protocol installs."""
+
+        def gate(kind: str) -> "_RoundTicket":
+            return _RoundTicket(self, session, kind)
+
+        return gate
+
+    def wake(self) -> None:
+        """Re-evaluate waiters (called after a cancellation request)."""
+        with self._admission:
+            self._admission.notify_all()
+
+    def stats(self) -> Dict[str, float]:
+        with self._admission:
+            return {
+                "rounds_admitted": self._rounds_admitted,
+                "round_wait_seconds": self._wait_seconds,
+                "round_waiters_high_water": self._waiters_high_water,
+            }
+
+    # -- internal (driven by _RoundTicket) -----------------------------------
+
+    def _acquire(self, session: StudySession, kind: str) -> None:
+        ticket = object()
+        begin = time.perf_counter()
+        with self._admission:
+            self._waiting.append(ticket)
+            if len(self._waiting) > self._waiters_high_water:
+                self._waiters_high_water = len(self._waiting)
+            try:
+                while not (
+                    self._waiting[0] is ticket and self._active < self._max
+                ):
+                    if session.cancel_requested.is_set():
+                        raise StudyCancelledError(
+                            f"study {session.study_id!r} cancelled before "
+                            f"its {kind!r} round"
+                        )
+                    self._admission.wait()
+                if session.cancel_requested.is_set():
+                    raise StudyCancelledError(
+                        f"study {session.study_id!r} cancelled before its "
+                        f"{kind!r} round"
+                    )
+            except BaseException:
+                self._waiting.remove(ticket)
+                self._admission.notify_all()
+                raise
+            self._waiting.popleft()
+            self._active += 1
+            self._rounds_admitted += 1
+            waited = time.perf_counter() - begin
+            self._wait_seconds += waited
+            # Head-of-queue advanced: let the next waiter re-check.
+            self._admission.notify_all()
+        session.rounds += 1
+        session.round_wait_seconds += waited
+
+    def _release(self) -> None:
+        with self._admission:
+            self._active -= 1
+            self._admission.notify_all()
+
+
+class _RoundTicket:
+    """Context manager for one gated round."""
+
+    def __init__(self, gate: FairRoundGate, session: StudySession, kind: str):
+        self._gate = gate
+        self._session = session
+        self._kind = kind
+
+    def __enter__(self) -> "_RoundTicket":
+        self._gate._acquire(self._session, self._kind)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._gate._release()
+        return False

@@ -1,0 +1,119 @@
+"""Per-study session state inside the service.
+
+A :class:`StudySession` is the unit the service schedules: one
+submitted study with its own protocol state — RNG streams (derived from
+its own ``StudyConfig``), a network namespace on the shared router (the
+pool slot's scope), checkpoints (the supervisor's, if resilience is
+enabled) — over the shared warm substrate.  Sessions move through
+
+    QUEUED → RUNNING → DONE | FAILED | CANCELLED
+
+and never backwards; a session that fails or is cancelled aborts alone
+while the service keeps draining the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..config import StudyConfig
+from ..genomics.population import Cohort
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a session can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class StudySession:
+    """One submitted study's lifecycle, results and accounting.
+
+    All mutation happens under the owning service's bookkeeping; readers
+    get consistent snapshots via :meth:`to_dict`.  Durations are
+    measured with ``perf_counter`` deltas only — the service keeps no
+    wall-clock timestamps.
+    """
+
+    def __init__(
+        self, study_id: str, cohort: Cohort, config: StudyConfig
+    ):
+        self.study_id = study_id
+        self.cohort = cohort
+        self.config = config
+        self.status = QUEUED
+        self.cancel_requested = threading.Event()
+        self.finished = threading.Event()
+        self.result = None
+        self.report = None
+        self.error: Optional[BaseException] = None
+        self.slot_namespace: Optional[str] = None
+        self.warm = False
+        self.rounds = 0
+        self.round_wait_seconds = 0.0
+        self._queued_at = time.perf_counter()
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.status = RUNNING
+        self._started_at = time.perf_counter()
+
+    def mark_finished(self, status: str) -> None:
+        self.status = status
+        self._finished_at = time.perf_counter()
+        self.finished.set()
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def wait_seconds(self) -> float:
+        """Seconds spent queued before the run started (or so far)."""
+        if self._started_at is not None:
+            return self._started_at - self._queued_at
+        if self._finished_at is not None:  # cancelled while queued
+            return self._finished_at - self._queued_at
+        return time.perf_counter() - self._queued_at
+
+    @property
+    def run_seconds(self) -> float:
+        """Wall seconds of the protocol run (or so far)."""
+        if self._started_at is None:
+            return 0.0
+        end = self._finished_at
+        if end is None:
+            end = time.perf_counter()
+        return end - self._started_at
+
+    @property
+    def total_seconds(self) -> float:
+        """Submit-to-terminal wall seconds (or so far)."""
+        end = self._finished_at
+        if end is None:
+            end = time.perf_counter()
+        return end - self._queued_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Status snapshot for the ``status`` API and the CLI."""
+        snapshot: Dict[str, Any] = {
+            "study_id": self.study_id,
+            "status": self.status,
+            "wait_seconds": self.wait_seconds,
+            "run_seconds": self.run_seconds,
+            "total_seconds": self.total_seconds,
+            "rounds": self.rounds,
+            "round_wait_seconds": self.round_wait_seconds,
+            "warm": self.warm,
+        }
+        if self.slot_namespace is not None:
+            snapshot["slot"] = self.slot_namespace
+        if self.error is not None:
+            snapshot["error"] = type(self.error).__name__
+        return snapshot

@@ -113,3 +113,46 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeCommands:
+    def test_serve_batch_with_artifacts(self, cohort_file, tmp_path, capsys):
+        metrics_out = str(tmp_path / "serve_metrics.json")
+        results_out = str(tmp_path / "serve_results.json")
+        assert main(
+            [
+                "serve",
+                "--cohort", cohort_file,
+                "--studies", "3",
+                "--metrics", metrics_out,
+                "--results", results_out,
+            ]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "served 3 studies (3 done)" in captured
+        with open(metrics_out, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+        assert metrics["completed"] == 3
+        assert metrics["warm_hits"] >= 1
+        assert "rounds_admitted" in metrics
+        with open(results_out, encoding="utf-8") as handle:
+            results = json.load(handle)
+        assert set(results) == {"serve-0", "serve-1", "serve-2"}
+        assert all(r["status"] == "done" for r in results.values())
+
+    def test_submit_single_study(self, cohort_file, tmp_path, capsys):
+        report_out = str(tmp_path / "request_report.json")
+        assert main(
+            [
+                "submit",
+                "--cohort", cohort_file,
+                "--study-id", "cli-submitted",
+                "--report", report_out,
+            ]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "cli-submitted" in captured
+        assert "gated rounds" in captured
+        with open(report_out, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["study_id"] == "cli-submitted"

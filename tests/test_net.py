@@ -334,3 +334,92 @@ def test_network_profile_validation():
     with pytest.raises(Exception):
         NetworkProfile(bandwidth_bytes_per_s=0)
     assert NetworkProfile(latency_s=0.5).transfer_time(10) == 0.5
+
+
+class TestScopedNetwork:
+    def _scoped(self, profile=None):
+        net = SimulatedNetwork(profile)
+        alpha = net.scope("alpha")
+        beta = net.scope("beta")
+        for scope in (alpha, beta):
+            scope.register("a")
+            scope.register("b")
+        return net, alpha, beta
+
+    def test_same_logical_ids_are_isolated(self):
+        _, alpha, beta = self._scoped()
+        alpha.send(Envelope("a", "b", "t", b"from-alpha"))
+        beta.send(Envelope("a", "b", "t", b"from-beta"))
+        assert alpha.receive("b", "t").body == b"from-alpha"
+        assert beta.receive("b", "t").body == b"from-beta"
+        assert alpha.pending("b") == 0 and beta.pending("b") == 0
+
+    def test_envelopes_keep_logical_ids(self):
+        _, alpha, _ = self._scoped()
+        alpha.send(Envelope("a", "b", "t", b"x"))
+        envelope = alpha.receive("b")
+        assert envelope.sender == "a" and envelope.receiver == "b"
+
+    def test_scoped_nodes_and_flush(self):
+        net, alpha, beta = self._scoped()
+        assert sorted(alpha.nodes()) == ["a", "b"]
+        assert sorted(net.nodes()) == [
+            "alpha//a", "alpha//b", "beta//a", "beta//b"
+        ]
+        alpha.send(Envelope("a", "b", "t", b"x"))
+        beta.send(Envelope("a", "b", "t", b"y"))
+        assert alpha.flush("b") == 1
+        assert beta.pending("b") == 1
+
+    def test_per_scope_clock_isolation(self):
+        profile = NetworkProfile(latency_s=1.0)
+        net, alpha, beta = self._scoped(profile)
+        alpha.send(Envelope("a", "b", "t", b"x"))
+        assert alpha.simulated_time == pytest.approx(1.0)
+        assert beta.simulated_time == 0.0
+        # Retry backoff on one session's clock must not leak.
+        beta.advance_clock(5.0)
+        assert alpha.simulated_time == pytest.approx(1.0)
+        assert beta.simulated_time == pytest.approx(5.0)
+        # The shared router accrues transfer time from every scope.
+        assert net.simulated_time == pytest.approx(1.0)
+
+    def test_concurrent_drain_is_atomic(self):
+        net, alpha, beta = self._scoped()
+        for index in range(4):
+            alpha.send(Envelope("a", "b", "t", str(index).encode()))
+            beta.send(Envelope("a", "b", "t", str(index).encode()))
+        assert [e.body for e in alpha.drain("b", "t", 4)] == [
+            str(i).encode() for i in range(4)
+        ]
+        assert len(beta.drain("b", "t", 4)) == 4
+
+    def test_namespace_separator_rejected(self):
+        net = SimulatedNetwork()
+        with pytest.raises(NetworkError):
+            net.register("x//y")
+        with pytest.raises(NetworkError):
+            net.scope("")
+        scope = net.scope("s")
+        with pytest.raises(NetworkError):
+            net.scope("s")
+        with pytest.raises(NetworkError):
+            scope.register("a//b")
+
+    def test_release_scope_drops_namespace(self):
+        net, alpha, beta = self._scoped()
+        alpha.send(Envelope("a", "b", "t", b"x"))
+        net.release_scope(alpha)
+        assert sorted(net.nodes()) == ["beta//a", "beta//b"]
+        # The namespace is reusable after release.
+        again = net.scope("alpha")
+        again.register("a")
+        assert again.pending("a") == 0
+
+    def test_scope_link_stats_are_per_scope(self):
+        _, alpha, beta = self._scoped()
+        alpha.send(Envelope("a", "b", "t", b"payload"))
+        assert ("a", "b") in alpha.links()
+        assert beta.links() == {} or ("a", "b") not in beta.links()
+        stats = alpha.link_stats("a", "b")
+        assert stats.messages == 1

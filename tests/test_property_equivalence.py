@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro import StudyConfig, run_study
 from repro.core.pipeline import run_local_pipeline
 from repro.genomics import SyntheticSpec, generate_cohort
+from repro.serve import FederationService, ServiceConfig
 
 _THRESHOLD_KWARGS = dict(
     maf_cutoff=0.05, ld_cutoff=1e-5, alpha=0.1, beta=0.9
@@ -56,6 +57,44 @@ def test_distributed_equals_centralized_property(shape):
     # Monotonicity and bounds always hold.
     assert set(result.l_safe) <= set(result.l_double_prime)
     assert set(result.l_double_prime) <= set(result.l_prime)
+
+
+@given(cohort_shapes())
+@settings(max_examples=3, deadline=None)
+def test_concurrent_service_equals_solo_property(shape):
+    """Studies served concurrently over warm substrates decide exactly
+    as one-shot ``run_study`` federations do — scheduling, slot reuse
+    and network namespacing are invisible to the verdict."""
+    num_members = shape.pop("num_members")
+    if shape["num_case"] < num_members:
+        num_members = shape["num_case"]
+    cohort, _ = generate_cohort(SyntheticSpec(**shape))
+    configs = [
+        StudyConfig(
+            snp_count=shape["num_snps"],
+            seed=shape["seed"] + index,
+            study_id=f"svc-prop-{shape['seed']}-{index}",
+        )
+        for index in range(2)
+    ]
+    solo = {c.study_id: run_study(cohort, c, num_members) for c in configs}
+    service_config = ServiceConfig(
+        num_members=num_members, pool_size=2, max_active=2
+    )
+    with FederationService(service_config) as service:
+        for config in configs:
+            service.submit(cohort, config)
+        served = {
+            c.study_id: service.result(c.study_id, timeout=120)
+            for c in configs
+        }
+    for study_id, result in served.items():
+        expected = solo[study_id]
+        assert result.l_prime == expected.l_prime
+        assert result.l_double_prime == expected.l_double_prime
+        assert result.l_safe == expected.l_safe
+        assert result.release_power == expected.release_power
+        assert result.leader_id == expected.leader_id
 
 
 @given(cohort_shapes())
