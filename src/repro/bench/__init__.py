@@ -7,6 +7,7 @@ machinery so those files stay declarative.
 
 from .fig5 import fig5_report, study_decisions
 from .serve import serve_report
+from .shard import shard_report
 from .reporting import (
     render_collusion_table,
     render_resource_table,
@@ -33,6 +34,7 @@ from .workloads import (
 __all__ = [
     "fig5_report",
     "serve_report",
+    "shard_report",
     "study_decisions",
     "render_collusion_table",
     "render_resource_table",

@@ -44,6 +44,7 @@ from .config import (
     IntegrityConfig,
     ObservabilityConfig,
     PrivacyThresholds,
+    ShardingConfig,
     StudyConfig,
 )
 from .core.protocol import run_study
@@ -114,6 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         snp_count=cohort.num_snps,
         thresholds=thresholds,
         collusion=_collusion_policy(args.collusion, args.members),
+        sharding=ShardingConfig.over(args.shards),
         seed=args.seed,
         study_id=args.study_id,
         observability=(
@@ -181,6 +183,7 @@ def _study_config(args: argparse.Namespace, cohort: Cohort, study_id: str) -> St
         snp_count=cohort.num_snps,
         thresholds=thresholds,
         collusion=_collusion_policy(args.collusion, args.members),
+        sharding=ShardingConfig.over(getattr(args, "shards", 1)),
         seed=args.seed,
         study_id=study_id,
     )
@@ -356,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--alpha", type=float, default=0.1)
     run.add_argument("--beta", type=float, default=0.9)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the SNP axis into this many ranges aggregated over "
+        "the combine tree (docs/PERFORMANCE.md); 1 disables sharding",
+    )
     run.add_argument("--study-id", default="cli-study")
     run.add_argument("--json", help="write the result as JSON to this path")
     run.add_argument(
@@ -386,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--alpha", type=float, default=0.1)
         sub.add_argument("--beta", type=float, default=0.9)
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="split the SNP axis into this many ranges aggregated "
+            "over the combine tree; 1 disables sharding",
+        )
         sub.add_argument(
             "--timeout",
             type=float,

@@ -403,6 +403,52 @@ class IntegrityConfig:
 
 
 @dataclass(frozen=True)
+class ShardingConfig:
+    """SNP-axis sharding of the aggregation pipeline (``repro.core.shard``).
+
+    With ``num_shards = 1`` (the default) every phase aggregates flat
+    through the leader exactly as the paper describes.  With ``S > 1``
+    the ``L`` SNP columns are split into ``S`` contiguous ranges and the
+    additive statistics (Phase-1 allele counts, Phase-2 pair moments)
+    are combined pairwise up a binary tree of member enclaves rooted at
+    the leader, one shard range at a time — bounding every aggregation
+    frame and every transient enclave buffer to O(L/S) instead of O(L)
+    and the leader's per-round fan-in to the tree arity instead of G.
+
+    Sharding is part of the study's identity: the deterministic
+    range→enclave assignment derives from this config, so ``sharding``
+    is deliberately *included* in the run's config fingerprint (unlike
+    ``execution``/``faults``/…), making the aggregation topology
+    auditable from the RunReport.  Outcomes remain bit-identical across
+    shard counts — integer addition is associative — and tests enforce
+    it the same way parallel-vs-sequential equivalence is enforced.
+
+    Attributes:
+        num_shards: number of contiguous SNP ranges (``S``); 1 disables
+            sharding.
+    """
+
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.num_shards >= 1, "num_shards must be at least 1")
+
+    @classmethod
+    def off(cls) -> "ShardingConfig":
+        """The default: flat leader aggregation."""
+        return cls()
+
+    @classmethod
+    def over(cls, num_shards: int) -> "ShardingConfig":
+        """Split the SNP axis into ``num_shards`` contiguous ranges."""
+        return cls(num_shards=num_shards)
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_shards > 1
+
+
+@dataclass(frozen=True)
 class ObservabilityConfig:
     """Tracing/metrics switches of one run (see ``docs/OBSERVABILITY.md``).
 
@@ -474,6 +520,10 @@ class StudyConfig:
             cross-checks); excluded from the fingerprint — verification
             either confirms the fault-free outcome or aborts, it never
             changes one.
+        sharding: SNP-axis sharding and tree aggregation; *included* in
+            the fingerprint so the deterministic range→enclave
+            assignment is recorded with the run (outcomes stay
+            bit-identical across shard counts regardless).
     """
 
     snp_count: int
@@ -488,10 +538,20 @@ class StudyConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
 
     def __post_init__(self) -> None:
         _require(self.snp_count > 0, "snp_count must be positive")
         _require(bool(self.study_id), "study_id must be non-empty")
+        _require(
+            self.sharding.num_shards <= self.snp_count,
+            "num_shards cannot exceed snp_count",
+        )
+        _require(
+            not (self.sharding.enabled and self.resilience.enabled),
+            "sharding does not yet compose with the supervised resilient "
+            "runtime (tree rounds bypass the retry/failover exchange)",
+        )
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,13 @@ from .pipeline import PipelineOutcome, ld_prune, run_local_pipeline
 from .protocol import GenDPRProtocol, run_study
 from .release import GwasRelease, SnpStatistic, build_release, hybrid_release
 from .resilience import FailureReport, ResilientExchange
+from .shard import (
+    AggregationTree,
+    ShardPlan,
+    ShardRange,
+    aggregation_tree,
+    plan_shards,
+)
 from .supervisor import ProtocolSupervisor
 from .timing import (
     DATA_AGGREGATION,
@@ -75,6 +82,11 @@ __all__ = [
     "run_study",
     "FailureReport",
     "ResilientExchange",
+    "AggregationTree",
+    "ShardPlan",
+    "ShardRange",
+    "aggregation_tree",
+    "plan_shards",
     "ProtocolSupervisor",
     "GwasRelease",
     "SnpStatistic",

@@ -65,6 +65,7 @@ from ..tee.enclave import Enclave, ecall
 from ..tee.sealing import SealedBlob, seal, unseal
 from ..tee.storage import ColumnReader, SealedColumnStore, seal_matrix
 from . import pipeline
+from .shard import AggregationTree, ShardPlan, aggregation_tree, plan_shards
 
 #: Host-routed exchange: {peer_id: request_frame} -> {peer_id: response_frame}.
 OcallExchange = Callable[[str, Dict[str, bytes]], Dict[str, bytes]]
@@ -77,6 +78,18 @@ _LD_WINDOW = 8
 _LD_LOOKAHEAD = 32
 
 _STAGES = ("prime", "double_prime", "safe")
+
+#: Shard-task kinds the tree aggregation knows how to combine.
+_SHARD_KINDS = ("counts", "moments")
+#: Zero state of the per-enclave shard counters (observability bridge).
+_SHARD_COUNTER_ZERO = {
+    "tasks_opened": 0,
+    "tasks_accepted": 0,
+    "partials_emitted": 0,
+    "partials_ingested": 0,
+    "partial_bytes": 0,
+    "peak_partial_bytes": 0,
+}
 
 
 class GenDPREnclave(Enclave):
@@ -124,6 +137,22 @@ class GenDPREnclave(Enclave):
         # from members over the wire.
         self._ld_pairs_requested = 0
         self._ld_pairs_fetched = 0
+        # SNP-range sharding: every enclave derives the same plan and
+        # aggregation tree from the attested study parameters, so a
+        # Byzantine orchestrator can neither reroute shards nor re-root
+        # the combine tree.
+        self._shard_plan: Optional[ShardPlan] = None
+        self._shard_tree: Optional[AggregationTree] = None
+        self._shard_tasks: Dict[str, Dict[str, Any]] = {}
+        self._shard_accum: Dict[str, Dict[str, Any]] = {}
+        self._shard_counts_done = 0
+        self._ld_shard_buckets: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        # Per-(combination, pair) pooled case moments installed by the
+        # tree aggregation (sharded runs); the flat path leaves it empty.
+        self._combo_pair_moments: Dict[Tuple[str, int, int], ld.PairMoments] = {}
+        self._shard_counters: Dict[str, int] = dict(_SHARD_COUNTER_ZERO)
+        # Memoized sliding-window pair lists keyed by the SNP list bytes.
+        self._window_pairs_cache: Dict[bytes, List[Tuple[int, int]]] = {}
         # Member-side record of leader broadcasts.
         self._received_retained: Dict[str, List[int]] = {}
         # Outbound payload audit trail (kind, peer, bytes, genotype_rows).
@@ -188,6 +217,8 @@ class GenDPREnclave(Enclave):
             "_member_counts",
             "_member_pair_moments",
             "_rollback_counter",
+            "_shard_accum",
+            "_combo_pair_moments",
         }
 
     # ------------------------------------------------------------------
@@ -249,6 +280,27 @@ class GenDPREnclave(Enclave):
         self._study = dict(params, member_ids=members)
         self._combos = self._build_combinations(members, list(params["f_values"]))
         self._reset_study_state()
+        self._build_shard_layout()
+
+    def _build_shard_layout(self) -> None:
+        """Derive the shard plan and combine tree from the attested study.
+
+        Every enclave recomputes both locally from ``configure``'s
+        parameters (which the fingerprint covers), so the untrusted
+        orchestrator can only *schedule* shard work, never redefine
+        which ranges exist, who owns them, or who aggregates for whom.
+        """
+        study = self._config()
+        num_shards = int(study.get("num_shards", 1))
+        if num_shards <= 1:
+            self._shard_plan = None
+            self._shard_tree = None
+            return
+        members = list(study["member_ids"])
+        self._shard_plan = plan_shards(
+            study["snp_count"], num_shards, members
+        )
+        self._shard_tree = aggregation_tree(members, study["leader_id"])
 
     def _reset_study_state(self) -> None:
         """Clear every per-study aggregate so a warm enclave can serve a
@@ -280,6 +332,16 @@ class GenDPREnclave(Enclave):
         self._received_retained = {}
         self._audit_log = []
         self._broadcast_digests = {}
+        self._shard_plan = None
+        self._shard_tree = None
+        self._shard_tasks = {}
+        for task_id in list(self._shard_accum):
+            self._drop_shard_accum(task_id)
+        self._shard_counts_done = 0
+        self._ld_shard_buckets = None
+        self._combo_pair_moments = {}
+        self._shard_counters = dict(_SHARD_COUNTER_ZERO)
+        self._window_pairs_cache = {}
 
     @staticmethod
     def _build_combinations(
@@ -387,20 +449,7 @@ class GenDPREnclave(Enclave):
         buffer_name = "ld-moments"
         self.meter.register_buffer(buffer_name, gathered.nbytes)
         try:
-            out = np.empty((len(pairs), 5), dtype=np.int64)
-            column_sums = gathered.sum(axis=0, dtype=np.int64)
-            out[:, 0] = column_sums[inverse[:, 0]]
-            out[:, 1] = column_sums[inverse[:, 1]]
-            # Joint counts batched to bound the transient working set.
-            batch = 4096
-            for start in range(0, len(pairs), batch):
-                stop = min(start + batch, len(pairs))
-                left = gathered[:, inverse[start:stop, 0]]
-                right = gathered[:, inverse[start:stop, 1]]
-                out[start:stop, 2] = (left & right).sum(axis=0, dtype=np.int64)
-            out[:, 3] = out[:, 0]  # x^2 == x for binary genotypes
-            out[:, 4] = out[:, 1]
-            return out
+            return ld.pair_moments_kernel(gathered, inverse)
         finally:
             self.meter.release_buffer(buffer_name)
 
@@ -410,10 +459,18 @@ class GenDPREnclave(Enclave):
 
     @ecall
     def answer_summary(self, store: SealedColumnStore, frame: bytes) -> bytes:
-        """Produce the caseLocalCounts vector and local case size."""
+        """Produce the caseLocalCounts vector and local case size.
+
+        A ``sizes`` request returns only the local population size: the
+        sharded pipeline aggregates the count vectors through the
+        combine tree instead, but the leader still needs every member's
+        declared size up front to validate tree partials and LR shapes.
+        """
         config = self._config()
         leader = config["leader_id"]
         request = self._open(leader, "summary", frame)
+        if request.get("req") == "sizes":
+            return self._protect(leader, "summary", {"n_case": store.num_rows})
         if request.get("req") != "summary":
             raise ProtocolError("malformed summary request")
         counts = self._local_counts(store)
@@ -553,6 +610,41 @@ class GenDPREnclave(Enclave):
             self._reference_counts = reader.column_sums()
         self._reference_rows = ref_store.num_rows
 
+    @ecall
+    def lead_collect_sizes(
+        self,
+        store: SealedColumnStore,
+        ref_store: SealedColumnStore,
+        ocall: OcallExchange,
+    ) -> None:
+        """Sharded replacement for :meth:`lead_collect_summaries`.
+
+        Collects only the member population *sizes* (one integer per
+        member instead of an ``L``-wide vector); the count vectors
+        themselves flow through the shard combine tree, so the leader
+        never holds per-member counts and its fan-in stays bounded.
+        """
+        self._require_leader()
+        if self._shard_plan is None:
+            raise PhaseOrderError("study is not sharded")
+        requests = {
+            member: self._protect(member, "summary", {"req": "sizes"})
+            for member in self._other_members()
+        }
+        responses = ocall("summary", requests)
+        for member in self._other_members():
+            if member not in responses:
+                raise ProtocolError(f"no size report received from {member}")
+            payload = self._open(member, "summary", responses[member])
+            n_case = int(payload["n_case"])
+            if n_case < 0:
+                raise ProtocolError(f"negative population size from {member}")
+            self._member_sizes[member] = n_case
+        self._member_sizes[self.enclave_id] = store.num_rows
+        with ColumnReader(self, ref_store) as reader:
+            self._reference_counts = reader.column_sums()
+        self._reference_rows = ref_store.num_rows
+
     def _combo_case_data(self, combo_members: Tuple[str, ...]) -> Tuple[np.ndarray, int]:
         counts = maf.aggregate_counts(
             [self._member_counts[m] for m in combo_members]
@@ -579,11 +671,24 @@ class GenDPREnclave(Enclave):
         if self._reference_counts is None:
             raise PhaseOrderError("summaries must be collected before MAF")
         config = self._config()
+        if self._shard_plan is not None and (
+            self._shard_counts_done != self._shard_plan.num_shards
+        ):
+            raise PhaseOrderError(
+                f"sharded count aggregation incomplete: "
+                f"{self._shard_counts_done} of "
+                f"{self._shard_plan.num_shards} shards finished"
+            )
         survivor_sets: List[set] = []
         for combo_id, _f, combo_members in self._combos:
-            counts, size = self._combo_case_data(combo_members)
-            self._combo_counts[combo_id] = counts
-            self._combo_sizes[combo_id] = size
+            if self._shard_plan is not None:
+                # Tree aggregation already installed the pooled counts.
+                counts = self._combo_counts[combo_id]
+                size = self._combo_sizes[combo_id]
+            else:
+                counts, size = self._combo_case_data(combo_members)
+                self._combo_counts[combo_id] = counts
+                self._combo_sizes[combo_id] = size
             total = maf.aggregate_counts([counts, self._reference_counts])
             frequencies = maf.allele_frequencies(
                 total, size + self._reference_rows
@@ -622,6 +727,348 @@ class GenDPREnclave(Enclave):
                 member, "retained", {"stage": stage, "snps": list(member_snps)}
             )
         ocall("retained", frames)
+
+    # ------------------------------------------------------------------
+    # SNP-range sharding: tree aggregation of partial statistics
+    # ------------------------------------------------------------------
+    #
+    # One shard *task* covers one SNP range (counts) or one bucket of
+    # the LD pair union (moments).  Enclaves combine partials pairwise
+    # along the locally derived aggregation tree: each node adds its
+    # children's partials to its own leaf contribution and emits one
+    # bounded frame to its parent, so the leader ingests O(log G)
+    # frames per task instead of G flat responses.  Because every
+    # partial is an int64 sum and integer addition is associative and
+    # commutative, the tree's grouping produces bit-identical pooled
+    # statistics to the flat exchange — the invariant the equivalence
+    # tests and the CI shard gate enforce.
+    #
+    # Collusion tolerance rides along: a leaf multiplies its local
+    # statistics by its combination-membership vector, so one partial
+    # carries every ``C(G, G-f)`` combination's pool at once and the
+    # leader never sees a single member's contribution in isolation.
+
+    def _shard_plan_required(self) -> ShardPlan:
+        if self._shard_plan is None:
+            raise PhaseOrderError("study is not sharded")
+        return self._shard_plan
+
+    def _shard_tree_required(self) -> AggregationTree:
+        if self._shard_tree is None:
+            raise PhaseOrderError("study is not sharded")
+        return self._shard_tree
+
+    def _combo_membership(self, node: str) -> np.ndarray:
+        """0/1 vector over combinations: is ``node`` in each pool?"""
+        return np.asarray(
+            [1 if node in members else 0 for _, _f, members in self._combos],
+            dtype=np.int64,
+        )
+
+    def _shard_stats_shape(self, spec: Dict[str, Any]) -> Tuple[int, ...]:
+        num_combos = len(self._combos)
+        if spec["kind"] == "counts":
+            shard = self._shard_plan_required().ranges[spec["shard"]]
+            return (num_combos, shard.width)
+        # Moments travel as (mu_l, mu_r, mu_lr): binary genotypes make
+        # the squared sums duplicate the linear ones, so the wire and
+        # the combine accumulators carry 3 of the 5 columns and the
+        # leader reconstructs the full five-tuple at fold time.
+        return (num_combos, len(spec["pairs"]), 3)
+
+    def _install_shard_task(self, spec: Dict[str, Any]) -> None:
+        task_id = spec["task"]
+        if task_id in self._shard_tasks:
+            raise ProtocolError(f"shard task {task_id!r} already open")
+        plan = self._shard_plan_required()
+        if spec.get("kind") not in _SHARD_KINDS:
+            raise ProtocolError(f"unknown shard task kind {spec.get('kind')!r}")
+        shard_index = int(spec["shard"])
+        if not 0 <= shard_index < plan.num_shards:
+            raise ProtocolError(f"shard index {shard_index} out of range")
+        normalized: Dict[str, Any] = {
+            "task": str(task_id),
+            "kind": str(spec["kind"]),
+            "shard": shard_index,
+        }
+        if spec["kind"] == "moments":
+            pair_array = np.asarray(spec["pairs"], dtype=np.int64)
+            if pair_array.ndim != 2 or pair_array.shape[1] != 2:
+                raise ProtocolError("malformed shard pair list")
+            snp_count = self._config()["snp_count"]
+            if pair_array.size and (
+                pair_array.min() < 0 or pair_array.max() >= snp_count
+            ):
+                raise ProtocolError("shard pair list references unknown SNPs")
+            normalized["pairs"] = [
+                (int(left), int(right)) for left, right in pair_array
+            ]
+        self._shard_tasks[normalized["task"]] = normalized
+        self._shard_counters["tasks_accepted"] += 1
+
+    def _drop_shard_accum(self, task_id: str) -> None:
+        if task_id in self._shard_accum:
+            del self._shard_accum[task_id]
+            self.meter.release_buffer(f"shard-accum/{task_id}")
+
+    def _drop_shard_task(self, task_id: str) -> None:
+        self._shard_tasks.pop(task_id, None)
+        self._drop_shard_accum(task_id)
+
+    def _shard_leaf(
+        self, store: SealedColumnStore, spec: Dict[str, Any]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """This node's combined partial: own leaf + all children's sums.
+
+        Raises unless *every* tree child has delivered its partial — a
+        host that drops or reorders combine rounds fails closed here.
+        """
+        tree = self._shard_tree_required()
+        membership = self._combo_membership(self.enclave_id)
+        if spec["kind"] == "counts":
+            shard = self._shard_plan_required().ranges[spec["shard"]]
+            with ColumnReader(self, store) as reader:
+                local = reader.column_sums(shard.start, shard.stop)
+            stats = membership[:, None] * local[None, :]
+        else:
+            local = self._local_moments(store, spec["pairs"])[:, :3]
+            stats = membership[:, None, None] * local[None, :, :]
+        counts = membership * store.num_rows
+        accum = self._shard_accum.get(spec["task"])
+        expected = len(tree.children(self.enclave_id))
+        delivered = len(accum["seen"]) if accum is not None else 0
+        if delivered != expected:
+            raise ProtocolError(
+                f"shard task {spec['task']!r} holds {delivered} of "
+                f"{expected} child partials"
+            )
+        if accum is not None:
+            stats = stats + accum["stats"]
+            counts = counts + accum["counts"]
+        return stats, counts
+
+    def _note_partial(self, stats: np.ndarray, counts: np.ndarray) -> None:
+        size = int(stats.nbytes + counts.nbytes)
+        self._shard_counters["partial_bytes"] += size
+        self._shard_counters["peak_partial_bytes"] = max(
+            self._shard_counters["peak_partial_bytes"], size
+        )
+
+    @ecall
+    def ingest_shard_task(self, frame: bytes) -> None:
+        """Accept a leader-authenticated shard task specification."""
+        leader = self._config()["leader_id"]
+        spec = self._open(leader, "shard-task", frame)
+        self._install_shard_task(spec)
+
+    @ecall
+    def shard_emit_partial(
+        self, store: SealedColumnStore, task_id: str, parent: str
+    ) -> bytes:
+        """Combine own leaf with child partials; emit one frame upward."""
+        spec = self._shard_tasks.get(task_id)
+        if spec is None:
+            raise PhaseOrderError(f"unknown shard task {task_id!r}")
+        expected_parent = self._shard_tree_required().parent(self.enclave_id)
+        if expected_parent is None:
+            raise ProtocolError("the tree root does not emit partials")
+        if parent != expected_parent:
+            raise ProtocolError(
+                f"{self.enclave_id} aggregates toward {expected_parent}, "
+                f"not {parent}"
+            )
+        stats, counts = self._shard_leaf(store, spec)
+        self._note_partial(stats, counts)
+        frame = self._protect(
+            parent,
+            "shard",
+            {"task": task_id, "stats": stats, "counts": counts},
+        )
+        self._shard_counters["partials_emitted"] += 1
+        self._drop_shard_task(task_id)
+        return frame
+
+    @ecall
+    def shard_ingest_partial(self, peer: str, frame: bytes) -> None:
+        """Add one tree child's partial into this node's accumulator."""
+        payload = self._open(peer, "shard", frame)
+        task_id = str(payload["task"])
+        spec = self._shard_tasks.get(task_id)
+        if spec is None:
+            raise ProtocolError(
+                f"partial for unknown shard task {task_id!r} from {peer}"
+            )
+        tree = self._shard_tree_required()
+        children = tree.children(self.enclave_id)
+        if peer not in children:
+            raise ProtocolError(
+                f"{peer} is not a tree child of {self.enclave_id}"
+            )
+        stats = np.asarray(payload["stats"], dtype=np.int64)
+        counts = np.asarray(payload["counts"], dtype=np.int64)
+        expected_shape = self._shard_stats_shape(spec)
+        if stats.shape != expected_shape or counts.shape != (
+            len(self._combos),
+        ):
+            raise ProtocolError(f"malformed shard partial from {peer}")
+        # Untrusted peer subtree: sums of binary genotypes over a pool
+        # of ``counts[j]`` individuals must land in [0, counts[j]].
+        limits = counts.reshape((-1,) + (1,) * (stats.ndim - 1))
+        if (
+            counts.min(initial=0) < 0
+            or stats.min(initial=0) < 0
+            or bool(np.any(stats > limits))
+        ):
+            raise ProtocolError(
+                f"shard partial from {peer} is inconsistent with its "
+                f"declared pool sizes"
+            )
+        accum = self._shard_accum.get(task_id)
+        if accum is None:
+            accum = {
+                "stats": np.zeros_like(stats),
+                "counts": np.zeros(len(self._combos), dtype=np.int64),
+                "seen": set(),
+            }
+            self._shard_accum[task_id] = accum
+            self.meter.register_buffer(
+                f"shard-accum/{task_id}", stats.nbytes + counts.nbytes
+            )
+        if peer in accum["seen"]:
+            raise ProtocolError(
+                f"duplicate shard partial from {peer} for task {task_id!r}"
+            )
+        accum["seen"].add(peer)
+        accum["stats"] += stats
+        accum["counts"] += counts
+        self._shard_counters["partials_ingested"] += 1
+        self._note_partial(accum["stats"], accum["counts"])
+
+    def _ld_shard_pair_buckets(self) -> Dict[int, List[Tuple[int, int]]]:
+        """The LD pair union partitioned by owning shard (cached)."""
+        if self._ld_shard_buckets is None:
+            plan = self._shard_plan_required()
+            if "prime" not in self._retained:
+                raise PhaseOrderError("MAF phase has not run")
+            union = dict.fromkeys(self._window_pairs(self._retained["prime"]))
+            if len(self._combos) > 1:
+                union.update(
+                    dict.fromkeys(
+                        self._window_pairs(self._plain_retained["prime"])
+                    )
+                )
+            buckets: Dict[int, List[Tuple[int, int]]] = {}
+            if union:
+                pairs = list(union)
+                starts = np.asarray(
+                    [r.start for r in plan.ranges], dtype=np.int64
+                )
+                lefts = np.asarray([p[0] for p in pairs], dtype=np.int64)
+                owners = np.searchsorted(starts, lefts, side="right") - 1
+                for pair, owner in zip(pairs, owners.tolist()):
+                    buckets.setdefault(int(owner), []).append(pair)
+            self._ld_shard_buckets = buckets
+        return self._ld_shard_buckets
+
+    @ecall
+    def lead_open_shard_task(
+        self, kind: str, shard_index: int, ocall: OcallExchange
+    ) -> Optional[str]:
+        """Open one shard task: broadcast its spec, install it locally.
+
+        Returns the task id, or ``None`` when a moments shard owns no
+        pairs of the LD union (nothing to aggregate).
+        """
+        self._require_leader()
+        plan = self._shard_plan_required()
+        if kind not in _SHARD_KINDS:
+            raise ProtocolError(f"unknown shard task kind {kind!r}")
+        if not 0 <= shard_index < plan.num_shards:
+            raise ProtocolError(f"shard index {shard_index} out of range")
+        spec: Dict[str, Any] = {"kind": kind, "shard": int(shard_index)}
+        if kind == "moments":
+            pairs = self._ld_shard_pair_buckets().get(int(shard_index), [])
+            if not pairs:
+                return None
+            spec["pairs"] = np.asarray(pairs, dtype=np.int64)
+        self._lr_request_counter += 1
+        task_id = f"shard-{kind}-{shard_index}-{self._lr_request_counter}"
+        spec["task"] = task_id
+        frames = {
+            member: self._protect(member, "shard-task", spec)
+            for member in self._other_members()
+        }
+        if frames:
+            ocall("shard-task", frames)
+        self._install_shard_task(spec)
+        self._shard_counters["tasks_opened"] += 1
+        return task_id
+
+    @ecall
+    def lead_finish_shard_task(
+        self, store: SealedColumnStore, task_id: str
+    ) -> None:
+        """Fold the completed tree root of one task into leader state."""
+        self._require_leader()
+        spec = self._shard_tasks.get(task_id)
+        if spec is None:
+            raise PhaseOrderError(f"unknown shard task {task_id!r}")
+        plan = self._shard_plan_required()
+        stats, counts = self._shard_leaf(store, spec)
+        self._note_partial(stats, counts)
+        snp_count = self._config()["snp_count"]
+        if spec["kind"] == "counts":
+            shard = plan.ranges[spec["shard"]]
+            for index, (combo_id, _f, _members) in enumerate(self._combos):
+                if combo_id not in self._combo_counts:
+                    self._combo_counts[combo_id] = np.zeros(
+                        snp_count, dtype=np.int64
+                    )
+                self._combo_counts[combo_id][shard.start : shard.stop] = (
+                    stats[index]
+                )
+                self._check_combo_size(combo_id, int(counts[index]))
+            self._shard_counts_done += 1
+            if (
+                self._shard_counts_done == plan.num_shards
+                and self._member_sizes
+                and self._combo_sizes.get("f0")
+                != sum(self._member_sizes.values())
+            ):
+                raise ProtocolError(
+                    "pooled shard size diverges from declared member sizes"
+                )
+        else:
+            pairs = spec["pairs"]
+            cache = self._combo_pair_moments
+            for index, (combo_id, _f, _members) in enumerate(self._combos):
+                size = int(counts[index])
+                self._check_combo_size(combo_id, size)
+                for pair, (mu_l, mu_r, mu_lr) in zip(
+                    pairs, stats[index].tolist()
+                ):
+                    cache[(combo_id, *pair)] = ld.PairMoments(
+                        mu_l, mu_r, mu_lr, mu_l, mu_r, count=size
+                    )
+            self._ld_cached.update(pairs)
+            self._ld_pairs_fetched += len(pairs)
+        self._drop_shard_task(task_id)
+
+    def _check_combo_size(self, combo_id: str, size: int) -> None:
+        """Pooled sizes must agree across every shard of a combination."""
+        known = self._combo_sizes.get(combo_id)
+        if known is None:
+            self._combo_sizes[combo_id] = size
+        elif known != size:
+            raise ProtocolError(
+                f"combination {combo_id!r} pool size drifted across "
+                f"shards ({known} vs {size})"
+            )
+
+    @ecall
+    def shard_stats(self) -> Dict[str, int]:
+        """Per-enclave shard counters (for the observability bridge)."""
+        return dict(self._shard_counters)
 
     # ------------------------------------------------------------------
     # Broadcast-consistency echo + transcript attestation (integrity)
@@ -807,29 +1254,11 @@ class GenDPREnclave(Enclave):
         unique_columns, inverse = np.unique(pair_array, return_inverse=True)
         inverse = inverse.reshape(pair_array.shape)
         gathered = ref_reader.columns(unique_columns.tolist())
-        column_sums = gathered.sum(axis=0, dtype=np.int64)
-        mu_l = column_sums[inverse[:, 0]]
-        mu_r = column_sums[inverse[:, 1]]
-        mu_lr = np.empty(len(missing), dtype=np.int64)
-        batch = 4096
-        for start in range(0, len(missing), batch):
-            stop = min(start + batch, len(missing))
-            left = gathered[:, inverse[start:stop, 0]]
-            right = gathered[:, inverse[start:stop, 1]]
-            mu_lr[start:stop] = (left & right).sum(axis=0, dtype=np.int64)
+        moments = ld.pair_moments_kernel(gathered, inverse)
         count = ref_reader.num_rows
         cache = self._reference_pair_moments
-        for pair, l_val, r_val, lr_val in zip(
-            missing, mu_l.tolist(), mu_r.tolist(), mu_lr.tolist()
-        ):
-            cache[pair] = ld.PairMoments(
-                mu_l=l_val,
-                mu_r=r_val,
-                mu_lr=lr_val,
-                mu_l2=l_val,
-                mu_r2=r_val,
-                count=count,
-            )
+        for pair, row in zip(missing, moments.tolist()):
+            cache[pair] = ld.PairMoments(*row, count=count)
 
     def _fetch_moments(
         self,
@@ -883,13 +1312,23 @@ class GenDPREnclave(Enclave):
 
     def _combo_moments(
         self,
+        combo_id: str,
         combo_members: Tuple[str, ...],
         pair: Tuple[int, int],
         ref_reader: ColumnReader,
     ) -> ld.PairMoments:
-        """Pooled moments of a pair for one combination (case + reference)."""
+        """Pooled moments of a pair for one combination (case + reference).
+
+        Sharded runs install the case-side pool per combination during
+        tree aggregation; the per-member sum below only runs for pairs
+        the tree prefetch did not cover (lookahead misses) and for the
+        flat (unsharded) path.
+        """
         self._ld_pairs_requested += 1
         total = self._reference_moments(ref_reader, pair)
+        pooled = self._combo_pair_moments.get((combo_id, *pair))
+        if pooled is not None:
+            return total + pooled
         for member in combo_members:
             if member == self.enclave_id:
                 total = total + self._local_pair_moments[pair]
@@ -961,14 +1400,24 @@ class GenDPREnclave(Enclave):
             self._plain_retained["double_prime"] = list(retained)
         return list(retained)
 
-    @staticmethod
-    def _window_pairs(l_prime: List[int]) -> List[Tuple[int, int]]:
-        """The sliding-window pair list a greedy walk over ``l_prime`` uses."""
-        return [
-            (l_prime[i], l_prime[j])
-            for i in range(len(l_prime) - 1)
-            for j in range(i + 1, min(i + 1 + _LD_WINDOW, len(l_prime)))
-        ]
+    def _window_pairs(self, l_prime: List[int]) -> List[Tuple[int, int]]:
+        """The sliding-window pair list a greedy walk over ``l_prime`` uses.
+
+        Built by the vectorised :func:`repro.stats.ld.window_pairs`
+        kernel and memoized per SNP list: every combination walks the
+        same intersected list, so without the memo the same pair list
+        was rebuilt ``C(G, G-f)`` times per study.
+        """
+        key = np.asarray(l_prime, dtype=np.int64).tobytes()
+        pairs = self._window_pairs_cache.get(key)
+        if pairs is None:
+            if len(l_prime) < 2:
+                pairs = []
+            else:
+                arr = ld.window_pairs(l_prime, _LD_WINDOW)
+                pairs = list(zip(arr[:, 0].tolist(), arr[:, 1].tolist()))
+            self._window_pairs_cache[key] = pairs
+        return pairs
 
     def _ld_greedy(
         self,
@@ -1017,7 +1466,7 @@ class GenDPREnclave(Enclave):
                     )
                 ]
                 self._fetch_moments(lookahead, store, ref_reader, ocall)
-            return self._combo_moments(combo_members, pair, ref_reader)
+            return self._combo_moments(combo_id, combo_members, pair, ref_reader)
 
         return pipeline.ld_prune(l_prime, ranking, get_moments, cutoff)
 
@@ -1356,6 +1805,7 @@ class GenDPREnclave(Enclave):
         moment_keys = sorted(self._member_pair_moments)
         local_keys = sorted(self._local_pair_moments)
         ref_keys = sorted(self._reference_pair_moments)
+        combo_moment_keys = sorted(self._combo_pair_moments)
 
         def pack_moments(keys, lookup):
             rows = [
@@ -1392,6 +1842,11 @@ class GenDPREnclave(Enclave):
             "local_values": pack_moments(local_keys, self._local_pair_moments),
             "ref_keys": [list(k) for k in ref_keys],
             "ref_values": pack_moments(ref_keys, self._reference_pair_moments),
+            "combo_moment_keys": [list(k) for k in combo_moment_keys],
+            "combo_moment_values": pack_moments(
+                combo_moment_keys, self._combo_pair_moments
+            ),
+            "shard_counts_done": self._shard_counts_done,
             "request_counter": self._lr_request_counter,
         }
 
@@ -1498,10 +1953,29 @@ class GenDPREnclave(Enclave):
             state["ref_values"],
             lambda k: (int(k[0]), int(k[1])),
         )
+        self._combo_pair_moments = unpack(
+            state.get("combo_moment_keys", []),
+            state.get(
+                "combo_moment_values", np.zeros((0, 6), dtype=np.int64)
+            ),
+            lambda k: (str(k[0]), int(k[1]), int(k[2])),
+        )
+        self._shard_counts_done = int(state.get("shard_counts_done", 0))
+        self._build_shard_layout()
         members_set = self._other_members()
         self._ld_cached = {
             pair
             for pair in self._local_pair_moments
             if all((m, *pair) in self._member_pair_moments for m in members_set)
         }
+        # Pairs whose pooled moments the combine tree installed for every
+        # combination are fully served from the combo cache.
+        if self._combo_pair_moments:
+            combo_ids = {combo_id for combo_id, _f, _m in self._combos}
+            coverage: Dict[Tuple[int, int], set] = {}
+            for combo_id, left, right in self._combo_pair_moments:
+                coverage.setdefault((left, right), set()).add(combo_id)
+            self._ld_cached.update(
+                pair for pair, seen in coverage.items() if seen == combo_ids
+            )
         self._lr_request_counter = int(state["request_counter"])

@@ -70,6 +70,20 @@ class GdoHost:
                     "ingest_retained", envelope.body, label="retained"
                 )
                 return None
+            if envelope.tag == "shard-task":
+                self.enclave.ecall(
+                    "ingest_shard_task", envelope.body, label="shard"
+                )
+                return None
+            if envelope.tag == "shard":
+                # A tree child's partial; replies never flow back down.
+                self.enclave.ecall(
+                    "shard_ingest_partial",
+                    envelope.sender,
+                    envelope.body,
+                    label="shard",
+                )
+                return None
             if envelope.tag.startswith("transcript:"):
                 # Transcript attestations touch only channel state, not
                 # the sealed dataset.  The tag carries the stage
@@ -222,6 +236,7 @@ def _study_params(
         "member_ids": list(member_ids),
         "leader_id": leader_id,
         "f_values": list(config.collusion.f_values),
+        "num_shards": config.sharding.num_shards,
     }
 
 
@@ -382,6 +397,16 @@ def bind_study(
             f"study elects {leader_id!r} but the star substrate centers "
             f"on {substrate.star_center!r}; reuse needs a mesh substrate"
         )
+    if (
+        config.sharding.enabled
+        and substrate.topology == "star"
+        and len(member_ids) > 2
+    ):
+        # Tree aggregation sends member-to-member frames along non-root
+        # edges; a star substrate has no channels for them.
+        raise ProtocolError(
+            "sharded studies need a mesh substrate for the combine tree"
+        )
 
     network = substrate.network
     fault_injector = None
@@ -478,11 +503,15 @@ def build_federation(
         raise ProtocolError("a federation needs at least one member")
     member_ids = sorted(d.gdo_id for d in datasets)
     leader_id = elect_leader(member_ids, config.seed, config.study_id)
+    # Sharded studies aggregate along member-to-member tree edges, so
+    # they need the full mesh; the historical star layout (and its RNG
+    # fork labels) is kept for everything else.
+    sharded = config.sharding.enabled and len(member_ids) > 2
     substrate = provision_substrate(
         member_ids,
         rng=DeterministicRng(f"federation/{config.study_id}/{config.seed}"),
         network=network,
-        topology="star",
-        star_center=leader_id,
+        topology="mesh" if sharded else "star",
+        star_center=None if sharded else leader_id,
     )
     return bind_study(substrate, config, datasets, cohort)

@@ -38,12 +38,14 @@ from ..obs.bridge import (
     record_resilience,
     record_resources,
     record_rounds,
+    record_shard,
     record_spans,
     record_timings,
 )
 from ..obs.tracer import TRACER
 from .federation import Federation
 from .phases import CollusionReport, CombinationOutcome, StudyResult
+from .shard import aggregation_tree, plan_shards
 from .timing import (
     DATA_AGGREGATION,
     INDEXING,
@@ -67,6 +69,8 @@ class GenDPRProtocol:
         self._outputs: Dict[str, list] = {}
         #: Stats registered by a supervising ProtocolSupervisor, if any.
         self._supervision: Optional[Dict[str, object]] = None
+        #: Lazily derived (ShardPlan, AggregationTree) for sharded runs.
+        self._shard_layout = None
         self._resilient = None
         #: Optional per-round hook installed by the serving layer:
         #: ``gate(kind)`` returns a context manager entered around every
@@ -306,6 +310,17 @@ class GenDPRProtocol:
                 "lead_exchange_stats", label="report"
             ),
         )
+        if federation.config.sharding.enabled:
+            plan, tree = self._shard_structures()
+            record_shard(
+                registry,
+                plan,
+                tree,
+                {
+                    gdo: host.enclave.ecall("shard_stats", label="report")
+                    for gdo, host in federation.hosts.items()
+                },
+            )
         if federation.fault_injector is not None:
             record_faults(registry, federation.fault_injector.counters())
         if self._resilient is not None:
@@ -323,6 +338,12 @@ class GenDPRProtocol:
             "l_safe": len(result.l_safe),
             "spans_dropped": getattr(collector, "dropped", 0),
         }
+        if federation.config.sharding.enabled:
+            plan, _tree = self._shard_structures()
+            meta["sharding"] = {
+                "num_shards": plan.num_shards,
+                "plan_digest": plan.digest(),
+            }
         quarantined = monitor.quarantined()
         if quarantined:
             meta["quarantined"] = [report.to_dict() for report in quarantined]
@@ -360,7 +381,21 @@ class GenDPRProtocol:
     # deterministic, so a re-run overwrites them with identical values.
 
     def phase_steps(self):
-        """Ordered (name, callable(clock)) steps of one study."""
+        """Ordered (name, callable(clock)) steps of one study.
+
+        Sharded runs swap the flat summary collection for per-shard tree
+        aggregation and insert a moment-aggregation step before the LD
+        walk; every other step (and every decision) is identical, which
+        is what the shard-equivalence tests pin down.
+        """
+        if self._federation.config.sharding.enabled:
+            return (
+                ("summaries", self._phase_summaries_sharded),
+                ("maf", self._phase_maf),
+                ("ld-moments", self._phase_shard_moments),
+                ("ld", self._phase_ld),
+                ("lr", self._phase_lr),
+            )
         return (
             ("summaries", self._phase_summaries),
             ("maf", self._phase_maf),
@@ -385,6 +420,160 @@ class GenDPRProtocol:
                 label="summaries",
             )
             self._verify_integrity("summaries", echo=False)
+
+    # -- sharded tree aggregation --------------------------------------------
+    #
+    # The orchestrator only *schedules* shard work: it derives the same
+    # plan and combine tree every enclave derived from the attested
+    # study parameters and drives the rounds — which child emits toward
+    # which parent, when.  Every frame it routes is AEAD-protected
+    # between the two enclaves, and each enclave independently validates
+    # the schedule against its own locally derived tree, so a Byzantine
+    # orchestrator can stall progress but not redirect aggregation.
+
+    def _shard_structures(self):
+        if self._shard_layout is None:
+            federation = self._federation
+            config = federation.config
+            self._shard_layout = (
+                plan_shards(
+                    config.snp_count,
+                    config.sharding.num_shards,
+                    federation.member_ids,
+                ),
+                aggregation_tree(federation.member_ids, federation.leader_id),
+            )
+        return self._shard_layout
+
+    def _phase_summaries_sharded(self, clock: PhaseClock) -> None:
+        """Member sizes flat, count vectors per shard through the tree."""
+        store, ref_store = self._leader_stores()
+        leader = self._federation.leader_host.enclave
+        plan, _tree = self._shard_structures()
+        with clock.task(DATA_AGGREGATION, self._accounting):
+            leader.ecall(
+                "lead_collect_sizes",
+                store,
+                ref_store,
+                self._exchange,
+                label="summaries",
+            )
+            for shard in plan.ranges:
+                task_id = leader.ecall(
+                    "lead_open_shard_task",
+                    "counts",
+                    shard.index,
+                    self._exchange,
+                    label="shard",
+                )
+                self._tree_combine(task_id, "shard:counts")
+                leader.ecall(
+                    "lead_finish_shard_task", store, task_id, label="shard"
+                )
+            self._verify_integrity("summaries", echo=False)
+
+    def _phase_shard_moments(self, clock: PhaseClock) -> None:
+        """Aggregate the LD pair-moment union per shard through the tree.
+
+        After this step every pooled pair moment the LD walks need is
+        already installed per combination, so ``lead_run_ld``'s own
+        prefetch finds everything cached and the walks issue no flat
+        member rounds (outside rare lookahead misses).
+        """
+        store, _ref_store = self._leader_stores()
+        leader = self._federation.leader_host.enclave
+        plan, _tree = self._shard_structures()
+        with clock.task(LD_ANALYSIS, self._accounting):
+            for shard in plan.ranges:
+                task_id = leader.ecall(
+                    "lead_open_shard_task",
+                    "moments",
+                    shard.index,
+                    self._exchange,
+                    label="shard",
+                )
+                if task_id is None:
+                    continue
+                self._tree_combine(task_id, "shard:moments")
+                leader.ecall(
+                    "lead_finish_shard_task", store, task_id, label="shard"
+                )
+
+    def _tree_combine(self, task_id: str, kind: str) -> None:
+        """Drive one task's pairwise combine rounds, deepest level first."""
+        _plan, tree = self._shard_structures()
+        for edges in tree.levels():
+            if self._round_gate is not None:
+                with self._round_gate(kind):
+                    self._combine_level(task_id, kind, edges)
+            else:
+                self._combine_level(task_id, kind, edges)
+
+    def _combine_level(self, task_id: str, kind: str, edges) -> None:
+        """One tree level: every child emits its partial to its parent.
+
+        Edges of a level touch distinct children, so parallel execution
+        fans the emits out like an OCALL round; deliveries stay
+        sequential in edge order (partial ingestion is int64 addition —
+        commutative — so arrival grouping cannot change the sums).
+        """
+        federation = self._federation
+        network = federation.network
+        injector = federation.fault_injector
+        if injector is not None:
+            injector.begin_round(kind)
+        execution = federation.config.execution
+        parallel = execution.is_parallel and len(edges) > 1
+        member_times: Dict[str, float] = {}
+        with TRACER.span(
+            "shard-level", kind=kind, edges=len(edges), task=task_id
+        ):
+
+            def emit(child: str, parent: str) -> float:
+                host = federation.hosts[child]
+                timer = time.thread_time if parallel else time.perf_counter
+                begin = timer()
+                frame = host.enclave.ecall(
+                    "shard_emit_partial",
+                    host.store,
+                    task_id,
+                    parent,
+                    label="shard",
+                )
+                elapsed = timer() - begin
+                network.send(
+                    Envelope(
+                        sender=child, receiver=parent, tag="shard", body=frame
+                    )
+                )
+                return elapsed
+
+            wall_begin = time.perf_counter()
+            if parallel:
+                executor = self._ensure_executor()
+                futures = {
+                    child: executor.submit(emit, child, parent)
+                    for child, parent in edges
+                }
+                for child, future in futures.items():
+                    member_times[child] = future.result()
+            else:
+                for child, parent in edges:
+                    member_times[child] = emit(child, parent)
+            wall = time.perf_counter() - wall_begin
+            for child, parent in edges:
+                inbound = network.receive(parent, "shard")
+                begin = time.perf_counter()
+                federation.hosts[parent].handle_envelope(inbound)
+                member_times[parent] = member_times.get(parent, 0.0) + (
+                    time.perf_counter() - begin
+                )
+        if parallel:
+            self._accounting.record_round(
+                member_times, kind=kind, wall_seconds=wall, concurrent=True
+            )
+        else:
+            self._accounting.record_round(member_times, kind=kind)
 
     def _phase_maf(self, clock: PhaseClock) -> None:
         leader = self._federation.leader_host.enclave

@@ -29,7 +29,13 @@ except ModuleNotFoundError:  # pragma: no cover - exercised on 3.9 only
 #: scope is the paper's trust boundary: code attested to run inside a
 #: TEE plus the pure protocol-phase logic it executes.
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
-    "enclave": ("repro.tee", "repro.core.enclave_logic", "repro.core.phases"),
+    "enclave": (
+        "repro.tee",
+        "repro.core.enclave_logic",
+        "repro.core.phases",
+        # Shard planner + tree: derived in-enclave from attested params.
+        "repro.core.shard",
+    ),
     "protocol": ("repro.core",),
     "stats": ("repro.stats",),
     "crypto": ("repro.crypto",),

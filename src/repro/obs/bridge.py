@@ -116,6 +116,53 @@ def record_cache_stats(registry: MetricsRegistry, stats: Dict[str, int]) -> None
     registry.gauge("enclave.moment_cache_hit_rate").set(hit_rate)
 
 
+def record_shard(
+    registry: MetricsRegistry,
+    plan,
+    tree,
+    stats: Dict[str, Dict[str, int]],
+) -> None:
+    """Feed SNP-range sharding accounting into ``shard.*`` metrics.
+
+    ``plan``/``tree`` are the study's
+    :class:`~repro.core.shard.ShardPlan` and
+    :class:`~repro.core.shard.AggregationTree`; ``stats`` maps enclave
+    id to the per-enclave counters its ``shard_stats`` ECALL exports.
+    Counters sum across the federation (tasks, partials, combine
+    bytes); the per-enclave peak partial size lands in a gauge per
+    enclave plus a histogram, which is what the bench reads to confirm
+    the O(L/S) memory claim.
+    """
+    registry.gauge("shard.ranges").set(plan.num_shards)
+    registry.gauge("shard.max_width").set(plan.max_width)
+    registry.gauge("shard.tree_depth").set(tree.depth)
+    registry.gauge("shard.aggregation_rounds").set(len(tree.levels()))
+    peak = registry.histogram(
+        "shard.peak_partial_bytes", bounds=BYTE_BUCKETS
+    )
+    for enclave_id, counters in sorted(stats.items()):
+        registry.counter("shard.tasks_opened").inc(
+            int(counters.get("tasks_opened", 0))
+        )
+        registry.counter("shard.tasks_accepted").inc(
+            int(counters.get("tasks_accepted", 0))
+        )
+        registry.counter("shard.partials_emitted").inc(
+            int(counters.get("partials_emitted", 0))
+        )
+        registry.counter("shard.partials_ingested").inc(
+            int(counters.get("partials_ingested", 0))
+        )
+        registry.counter("shard.partial_bytes").inc(
+            int(counters.get("partial_bytes", 0))
+        )
+        peak_bytes = int(counters.get("peak_partial_bytes", 0))
+        registry.gauge(
+            f"shard.peak_partial_bytes.{metric_slug(enclave_id)}"
+        ).set(peak_bytes)
+        peak.observe(peak_bytes)
+
+
 def record_faults(registry: MetricsRegistry, counters: Dict[str, int]) -> None:
     """Feed a ``FaultInjector``'s counters into ``faults.*`` metrics.
 

@@ -106,6 +106,38 @@ def rank_pvalues(
     return chi_square_pvalues(statistic)
 
 
+def rank_pvalues_scalar(
+    case_counts: np.ndarray,
+    control_counts: np.ndarray,
+    n_case: int,
+    n_control: int,
+) -> np.ndarray:
+    """Per-SNP loop reference of :func:`rank_pvalues` (test oracle).
+
+    Evaluates the 2x2 Pearson algebra one SNP at a time with scalar
+    float64 arithmetic in the same operation order as the vectorised
+    kernel, so the property tests can assert element-wise identity.
+    """
+    case, control = _validate_counts(
+        case_counts, control_counts, n_case, n_control
+    )
+    total = float(n_case + n_control)
+    out = np.empty(case.shape[0], dtype=np.float64)
+    for index in range(case.shape[0]):
+        a, b = float(case[index]), float(control[index])
+        minor = a + b
+        major = total - minor
+        determinant = a * (n_control - b) - b * (n_case - a)
+        denominator = minor * major * n_case * n_control
+        statistic = (
+            total * determinant**2 / max(denominator, 1e-300)
+            if denominator > 0
+            else 0.0
+        )
+        out[index] = scipy_stats.chi2.sf(np.float64(statistic), df=1)
+    return out
+
+
 def most_ranked(left: int, right: int, ranking_pvalues: np.ndarray) -> int:
     """Index (of the two given) with the smaller ranking p-value.
 

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import GenomicsError
 
@@ -123,6 +125,112 @@ def is_dependent(moments: PairMoments, ld_cutoff: float) -> bool:
     return ld_pvalue(moments) < ld_cutoff
 
 
+# ----------------------------------------------------------------------
+# Batched kernels (and their scalar test oracles)
+# ----------------------------------------------------------------------
+#
+# The enclave's hot paths call these with a shard's worth of columns at
+# a time; every kernel has a loop-per-element reference implementation
+# next to it, and the property tests assert element-wise identity over
+# randomized genotype matrices (integer arithmetic throughout, so the
+# identity is exact, not approximate).
+
+
+def window_pairs(snps: Sequence[int], window: int) -> np.ndarray:
+    """Sliding-window pair list of a greedy LD walk, vectorised.
+
+    Returns the ``(P, 2)`` int64 array of pairs ``(snps[i], snps[j])``
+    with ``i < j <= min(i + window, len(snps) - 1)`` — the pairs the
+    walk over ``snps`` can compare without a candidate outliving a
+    whole block.  Replaces the quadratic-constant Python comprehension
+    the enclave used per combination walk.
+    """
+    if window < 1:
+        raise GenomicsError("window must be at least 1")
+    snps_arr = np.asarray(list(snps), dtype=np.int64)
+    n = snps_arr.size
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    counts = np.minimum(window, n - 1 - np.arange(n - 1, dtype=np.int64))
+    lefts = np.repeat(np.arange(n - 1, dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = (
+        np.arange(int(counts.sum()), dtype=np.int64)
+        - np.repeat(starts, counts)
+        + 1
+    )
+    return np.stack((snps_arr[lefts], snps_arr[lefts + offsets]), axis=1)
+
+
+def window_pairs_scalar(snps: Sequence[int], window: int) -> np.ndarray:
+    """Loop reference of :func:`window_pairs` (test oracle)."""
+    if window < 1:
+        raise GenomicsError("window must be at least 1")
+    items = [int(s) for s in snps]
+    pairs = [
+        (items[i], items[j])
+        for i in range(len(items) - 1)
+        for j in range(i + 1, min(i + 1 + window, len(items)))
+    ]
+    return np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+
+
+def pair_moments_kernel(
+    gathered: np.ndarray, inverse: np.ndarray, *, batch: int = 4096
+) -> np.ndarray:
+    """Five correlation sums per pair over *binary* genotype columns.
+
+    Args:
+        gathered: ``N x K`` matrix of the distinct genotype columns the
+            pairs touch (0/1 entries).
+        inverse: ``P x 2`` indices into ``gathered``'s columns, one row
+            per requested pair.
+        batch: pairs per transient joint-count slab, bounding the
+            working set to ``N x batch``.
+
+    Returns ``P x 5`` int64 rows ``(mu_l, mu_r, mu_lr, mu_l2, mu_r2)``.
+    For binary genotypes ``x^2 == x``, so the squared sums repeat the
+    linear ones — kept explicit because the wire format and the pooled
+    r² algebra carry all five.
+    """
+    index = np.asarray(inverse, dtype=np.int64)
+    if index.ndim != 2 or index.shape[1] != 2:
+        raise GenomicsError("pair index array must have shape (P, 2)")
+    num_pairs = index.shape[0]
+    out = np.empty((num_pairs, 5), dtype=np.int64)
+    if num_pairs == 0:
+        return out
+    data = np.asarray(gathered)
+    column_sums = data.sum(axis=0, dtype=np.int64)
+    out[:, 0] = column_sums[index[:, 0]]
+    out[:, 1] = column_sums[index[:, 1]]
+    for start in range(0, num_pairs, batch):
+        stop = min(start + batch, num_pairs)
+        left = data[:, index[start:stop, 0]]
+        right = data[:, index[start:stop, 1]]
+        out[start:stop, 2] = (left & right).sum(axis=0, dtype=np.int64)
+    out[:, 3] = out[:, 0]
+    out[:, 4] = out[:, 1]
+    return out
+
+
+def pair_moments_scalar(gathered: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Loop reference of :func:`pair_moments_kernel` (test oracle)."""
+    data = np.asarray(gathered)
+    index = np.asarray(inverse, dtype=np.int64)
+    out = np.empty((index.shape[0], 5), dtype=np.int64)
+    for row, (left_col, right_col) in enumerate(index.tolist()):
+        mu_l = mu_r = mu_lr = 0
+        for value_l, value_r in zip(
+            data[:, left_col].tolist(), data[:, right_col].tolist()
+        ):
+            mu_l += value_l
+            mu_r += value_r
+            mu_lr += value_l & value_r
+        out[row] = (mu_l, mu_r, mu_lr, mu_l, mu_r)
+    return out
+
+
 def r_squared_direct(column_left, column_right) -> float:
     """r^2 straight from two genotype columns (test oracle).
 
@@ -130,8 +238,6 @@ def r_squared_direct(column_left, column_right) -> float:
     direct correlation, and by the naive baseline which has the columns
     locally.
     """
-    import numpy as np
-
     left = np.asarray(column_left, dtype=np.float64)
     right = np.asarray(column_right, dtype=np.float64)
     if left.shape != right.shape:

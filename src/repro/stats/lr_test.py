@@ -84,6 +84,33 @@ def lr_matrix(
     return x * w1 + (1.0 - x) * w0
 
 
+def lr_matrix_scalar(
+    genotypes: np.ndarray,
+    case_frequencies: np.ndarray,
+    reference_frequencies: np.ndarray,
+) -> np.ndarray:
+    """Entry-by-entry loop reference of :func:`lr_matrix` (test oracle).
+
+    Builds the same weights, then fills ``M[n, l]`` one scalar at a
+    time in the kernel's operation order — the property tests assert
+    element-wise identity with the vectorised matrix.
+    """
+    data = np.asarray(genotypes)
+    if data.ndim != 2:
+        raise GenomicsError("genotypes must be a 2-D array")
+    w1, w0 = lr_weights(case_frequencies, reference_frequencies)
+    if data.shape[1] != w1.shape[0]:
+        raise GenomicsError(
+            f"genotypes cover {data.shape[1]} SNPs, frequencies {w1.shape[0]}"
+        )
+    out = np.empty(data.shape, dtype=np.float64)
+    for row in range(data.shape[0]):
+        for col in range(data.shape[1]):
+            x = float(data[row, col])
+            out[row, col] = x * w1[col] + (1.0 - x) * w0[col]
+    return out
+
+
 def lr_scores(matrix: np.ndarray, columns: Optional[Sequence[int]] = None) -> np.ndarray:
     """LR score per individual over a column subset (default: all)."""
     m = np.asarray(matrix, dtype=np.float64)

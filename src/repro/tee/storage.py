@@ -188,11 +188,33 @@ class ColumnReader:
             start = chunk_index * self._store.chunk_width
             yield start, self._load_chunk(chunk_index)
 
-    def column_sums(self) -> np.ndarray:
-        """Minor-allele counts per column, computed chunk by chunk."""
-        sums = np.empty(self._store.num_cols, dtype=np.int64)
-        for start, chunk in self.iter_chunks():
-            sums[start : start + chunk.shape[1]] = chunk.sum(axis=0, dtype=np.int64)
+    def column_sums(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Minor-allele counts per column over ``[start, stop)``.
+
+        Streamed chunk by chunk, so the transient trusted working set is
+        one chunk regardless of the range width — this is what keeps a
+        shard enclave's leaf computation O(chunk) even for wide shards.
+        The default range covers the whole store.
+        """
+        if stop is None:
+            stop = self._store.num_cols
+        if not 0 <= start <= stop <= self._store.num_cols:
+            raise SealingError(
+                f"column range [{start}, {stop}) outside "
+                f"[0, {self._store.num_cols})"
+            )
+        sums = np.empty(stop - start, dtype=np.int64)
+        if start == stop:
+            return sums
+        width = self._store.chunk_width
+        for chunk_index in range(start // width, (stop - 1) // width + 1):
+            chunk = self._load_chunk(chunk_index)
+            chunk_start = chunk_index * width
+            lo = max(start, chunk_start)
+            hi = min(stop, chunk_start + chunk.shape[1])
+            sums[lo - start : hi - start] = chunk[
+                :, lo - chunk_start : hi - chunk_start
+            ].sum(axis=0, dtype=np.int64)
         return sums
 
     def close(self) -> None:

@@ -1,0 +1,164 @@
+"""SNP-range shard planner and aggregation tree (repro.core.shard)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ResilienceConfig, ShardingConfig, StudyConfig
+from repro.core.shard import (
+    AggregationTree,
+    aggregation_tree,
+    plan_shards,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.obs import config_fingerprint
+
+MEMBERS = ("gdo-0", "gdo-1", "gdo-2", "gdo-3", "gdo-4")
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("snps,shards", [(10, 1), (10, 3), (97, 8), (8, 8)])
+    def test_ranges_tile_the_snp_axis(self, snps, shards):
+        """Contiguous, in-order, gap-free cover of [0, L)."""
+        plan = plan_shards(snps, shards, MEMBERS)
+        assert plan.num_shards == shards
+        cursor = 0
+        for index, shard in enumerate(plan.ranges):
+            assert shard.index == index
+            assert shard.start == cursor
+            assert shard.stop > shard.start
+            cursor = shard.stop
+        assert cursor == snps
+        covered = [c for shard in plan.ranges for c in shard.columns()]
+        assert covered == list(range(snps))
+
+    def test_widths_as_equal_as_possible(self):
+        plan = plan_shards(97, 8, MEMBERS)
+        widths = [shard.width for shard in plan.ranges]
+        assert sum(widths) == 97
+        assert max(widths) - min(widths) <= 1
+        assert plan.max_width == max(widths)
+
+    def test_owners_round_robin_over_sorted_members(self):
+        plan = plan_shards(100, 7, ["b", "c", "a"])
+        owners = [shard.owner for shard in plan.ranges]
+        assert owners == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_deterministic_and_order_insensitive(self):
+        one = plan_shards(64, 4, ("g1", "g0", "g2"))
+        two = plan_shards(64, 4, ("g2", "g1", "g0"))
+        assert one == two
+        assert one.digest() == two.digest()
+
+    def test_digest_changes_with_shard_count(self):
+        assert (
+            plan_shards(64, 2, MEMBERS).digest()
+            != plan_shards(64, 4, MEMBERS).digest()
+        )
+
+    def test_shard_of_column(self):
+        plan = plan_shards(10, 3, MEMBERS)
+        for column in range(10):
+            shard = plan.shard_of_column(column)
+            assert shard.start <= column < shard.stop
+        with pytest.raises(ProtocolError):
+            plan.shard_of_column(10)
+        with pytest.raises(ProtocolError):
+            plan.shard_of_column(-1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_shards(0, 1, MEMBERS)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 11, MEMBERS)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 0, MEMBERS)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 2, [])
+        with pytest.raises(ConfigError):
+            plan_shards(10, 2, ["dup", "dup"])
+
+
+class TestAggregationTree:
+    def test_root_leads_sorted_others(self):
+        tree = aggregation_tree(MEMBERS, root="gdo-2")
+        assert tree.nodes[0] == "gdo-2"
+        assert list(tree.nodes[1:]) == ["gdo-0", "gdo-1", "gdo-3", "gdo-4"]
+
+    def test_root_must_be_a_member(self):
+        with pytest.raises(ConfigError):
+            aggregation_tree(MEMBERS, root="intruder")
+
+    @pytest.mark.parametrize(
+        "size,depth", [(1, 0), (2, 1), (3, 1), (4, 2), (7, 2), (8, 3)]
+    )
+    def test_depth_is_log2(self, size, depth):
+        members = [f"m{i}" for i in range(size)]
+        tree = aggregation_tree(members, root="m0")
+        assert tree.depth == depth
+
+    def test_parent_child_consistency(self):
+        tree = aggregation_tree(MEMBERS, root="gdo-0")
+        with pytest.raises(ProtocolError):
+            tree.parent("gdo-0")
+        for node in tree.nodes[1:]:
+            assert node in tree.children(tree.parent(node))
+        for node in tree.nodes:
+            assert len(tree.children(node)) <= 2
+            for child in tree.children(node):
+                assert tree.parent(child) == node
+
+    def test_levels_schedule_every_non_root_once_deepest_first(self):
+        tree = aggregation_tree([f"m{i}" for i in range(7)], root="m0")
+        levels = tree.levels()
+        assert len(levels) == tree.depth
+        emitted = [child for level in levels for child, _parent in level]
+        assert sorted(emitted) == sorted(tree.nodes[1:])
+        # A child may only emit after its own children have emitted.
+        seen = set()
+        for level in levels:
+            children_this_level = {child for child, _ in level}
+            for child, parent in level:
+                assert parent == tree.parent(child)
+                for grandchild in tree.children(child):
+                    assert grandchild in seen
+            assert len(children_this_level) == len(level), "distinct children"
+            seen |= children_this_level
+
+    def test_single_node_tree_has_no_edges(self):
+        tree = AggregationTree(root="solo", nodes=("solo",))
+        assert tree.depth == 0
+        assert tree.levels() == []
+        assert tree.children("solo") == ()
+
+
+class TestShardingConfig:
+    def test_defaults_off(self):
+        assert not ShardingConfig.off().enabled
+        assert ShardingConfig.over(4).enabled
+        assert not ShardingConfig.over(1).enabled
+
+    def test_num_shards_bounded_by_snp_count(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(
+                snp_count=3,
+                sharding=ShardingConfig.over(4),
+                study_id="too-many-shards",
+            )
+
+    def test_sharding_excludes_resilience(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(
+                snp_count=100,
+                sharding=ShardingConfig.over(2),
+                resilience=ResilienceConfig(enabled=True),
+                study_id="shards-with-resilience",
+            )
+
+    def test_fingerprint_records_shard_count(self):
+        """Sharding is part of the study identity, unlike execution mode."""
+        flat = StudyConfig(snp_count=100, study_id="fp")
+        sharded = StudyConfig(
+            snp_count=100, sharding=ShardingConfig.over(4), study_id="fp"
+        )
+        assert config_fingerprint(flat) != config_fingerprint(sharded)
