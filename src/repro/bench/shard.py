@@ -32,9 +32,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import CollusionPolicy, ObservabilityConfig, ShardingConfig
+from ..config import (
+    CollusionPolicy,
+    FaultConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    ShardingConfig,
+)
 from ..core.phases import StudyResult
 from ..core.protocol import run_study
+from ..errors import ReproError
 from ..stats import chisq, ld, lr_test
 from .workloads import (
     PAPER_CASE_FULL,
@@ -47,6 +54,15 @@ from .workloads import (
 
 #: Shard counts compared by default — the invariant set the tests pin.
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+#: Seed of the chaos plan armed for the faulted-run section.
+FAULT_SEED = 7
+#: Per-envelope fault probability of that plan.
+FAULT_INTENSITY = 0.1
+#: Generous ceiling on modeled-time overhead of a faulted supervised
+#: run over its clean sharded cell: retry backoff and tree repair cost
+#: simulated seconds, but masking a 10% fault rate must never blow the
+#: run up by more than this factor.
+FAULTED_OVERHEAD_BUDGET = 10.0
 #: Sliding window of the greedy LD walk (mirrors the enclave constant).
 LD_WINDOW = 25
 #: Elements the scalar references are timed over before extrapolating;
@@ -100,7 +116,12 @@ def _shard_gauges(result: StudyResult) -> Dict[str, float]:
 
 
 def _run_cell(
-    num_snps: int, gdos: int, f: int, shards: int
+    num_snps: int,
+    gdos: int,
+    f: int,
+    shards: int,
+    faults: Optional[FaultConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Tuple[StudyResult, Dict[str, Any]]:
     cohort, _truth = paper_cohort(PAPER_CASE_FULL, num_snps)
     collusion = CollusionPolicy((f,)) if f > 0 else CollusionPolicy.none()
@@ -114,6 +135,10 @@ def _run_cell(
         sharding=ShardingConfig.over(shards),
         observability=ObservabilityConfig(enabled=True),
     )
+    if faults is not None:
+        config = replace(config, faults=faults)
+    if resilience is not None:
+        config = replace(config, resilience=resilience)
     begin = time.perf_counter()
     result = run_study(cohort, config, gdos)
     wall_ms = (time.perf_counter() - begin) * 1000.0
@@ -230,6 +255,121 @@ def kernel_speedups(num_snps: int) -> List[Dict[str, Any]]:
     return results
 
 
+def faulted_runs(
+    num_snps: int,
+    gdos: int,
+    counts: Sequence[int],
+    baseline: Dict[str, Any],
+    clean_ms: Dict[int, float],
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Sharded cells re-run under a seeded chaos plan, supervised.
+
+    Every cell must either complete with decisions bit-identical to
+    the flat fault-free baseline — within the modeled-time overhead
+    budget — or abort classified.  Repair/retry counters land in the
+    report so CI archives how much masking each plan needed.
+    """
+    faults = FaultConfig.chaos(FAULT_SEED, intensity=FAULT_INTENSITY)
+    supervised = ResilienceConfig.supervised()
+    section: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    completed = 0
+    for shards in counts:
+        if shards == 1:
+            continue
+        row: Dict[str, Any] = {
+            "shards": shards,
+            "seed": FAULT_SEED,
+            "intensity": FAULT_INTENSITY,
+        }
+        try:
+            result, cell = _run_cell(
+                num_snps, gdos, 0, shards,
+                faults=faults, resilience=supervised,
+            )
+        except ReproError as exc:
+            row["outcome"] = "classified_abort"
+            row["error"] = type(exc).__name__
+            section.append(row)
+            continue
+        completed += 1
+        row["outcome"] = "completed"
+        row["wall_ms"] = cell["wall_ms"]
+        row["total_ms"] = cell["total_ms"]
+        counters = result.observability.metrics["counters"]
+        row["repair"] = {
+            name: counters.get(f"shard.repair.{name}", 0)
+            for name in (
+                "repairs",
+                "tasks_rerun",
+                "level_retries",
+                "partials_redelivered",
+                "verify_runs",
+            )
+        }
+        if study_decisions(result) != baseline:
+            problems.append(f"faulted S={shards}: decisions diverged")
+        clean = clean_ms.get(shards, 0.0)
+        ratio = cell["total_ms"] / clean if clean else 0.0
+        row["overhead_ratio"] = ratio
+        if ratio > FAULTED_OVERHEAD_BUDGET:
+            problems.append(
+                f"faulted S={shards}: modeled overhead {ratio:.1f}x "
+                f"exceeds the {FAULTED_OVERHEAD_BUDGET:.0f}x budget"
+            )
+        section.append(row)
+    if not completed:
+        problems.append("faulted: no cell completed")
+    return section, problems
+
+
+def fast_path_check(
+    num_snps: int,
+    gdos: int,
+    shards: int,
+    clean_row: Dict[str, Any],
+    baseline: Dict[str, Any],
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Supervision with no armed faults must cost nothing on the wire.
+
+    The resilient combine path sends exactly the frames the plain path
+    sends (retries and repair traffic only exist once faults fire), so
+    a supervised fault-free cell is gated on byte-identical network
+    accounting against its unsupervised twin — the zero-overhead fast
+    path the sharded pipeline promises.
+    """
+    result, row = _run_cell(
+        num_snps, gdos, 0, shards,
+        resilience=ResilienceConfig.supervised(),
+    )
+    problems: List[str] = []
+    if study_decisions(result) != baseline:
+        problems.append("fast-path: supervised decisions diverged")
+    same_wire = (
+        row["network_bytes"] == clean_row["network_bytes"]
+        and row["network_messages"] == clean_row["network_messages"]
+    )
+    if not same_wire:
+        problems.append(
+            "fast-path: supervised fault-free run changed wire traffic "
+            f"({row['network_messages']} msgs/{row['network_bytes']} B vs "
+            f"{clean_row['network_messages']} msgs/"
+            f"{clean_row['network_bytes']} B)"
+        )
+    counters = result.observability.metrics["counters"]
+    summary = {
+        "shards": shards,
+        "network_bytes": row["network_bytes"],
+        "network_messages": row["network_messages"],
+        "wire_identical": same_wire,
+        "repairs": counters.get("shard.repair.repairs", 0),
+        "retries": counters.get("shard.repair.level_retries", 0),
+    }
+    if summary["repairs"] or summary["retries"]:
+        problems.append("fast-path: repair machinery engaged without faults")
+    return summary, problems
+
+
 def shard_report(
     num_snps: int = 2000,
     gdos: int = 5,
@@ -243,6 +383,9 @@ def shard_report(
     runs: List[Dict[str, Any]] = []
     mismatches: List[str] = []
     memory: List[Dict[str, Any]] = []
+    baseline_f0: Optional[Dict[str, Any]] = None
+    clean_ms_f0: Dict[int, float] = {}
+    clean_rows_f0: Dict[int, Dict[str, Any]] = {}
     for f in f_values:
         baseline: Optional[Dict[str, Any]] = None
         flat_row: Optional[Dict[str, Any]] = None
@@ -251,8 +394,13 @@ def shard_report(
             result, row = _run_cell(num_snps, gdos, f, shards)
             runs.append(row)
             decisions = study_decisions(result)
+            if f == 0:
+                clean_ms_f0[shards] = row["total_ms"]
+                clean_rows_f0[shards] = row
             if shards == 1:
                 baseline, flat_row = decisions, row
+                if f == 0:
+                    baseline_f0 = decisions
                 continue
             if decisions != baseline:
                 mismatches.append(f"f={f}, S={shards}")
@@ -283,6 +431,19 @@ def shard_report(
                 "scales_inversely": shrinking,
             }
         )
+    faulted: List[Dict[str, Any]] = []
+    fast_path: Dict[str, Any] = {}
+    sharded_counts = [s for s in counts if s > 1]
+    if sharded_counts and baseline_f0 is not None and 0 in f_values:
+        faulted, fault_problems = faulted_runs(
+            num_snps, gdos, counts, baseline_f0, clean_ms_f0
+        )
+        mismatches.extend(fault_problems)
+        widest = max(sharded_counts)
+        fast_path, fast_problems = fast_path_check(
+            num_snps, gdos, widest, clean_rows_f0[widest], baseline_f0
+        )
+        mismatches.extend(fast_problems)
     kernels = kernel_speedups(num_snps)
     return {
         "benchmark": "shard",
@@ -294,6 +455,9 @@ def shard_report(
         "cpu_count": os.cpu_count(),
         "runs": runs,
         "memory": memory,
+        "faulted": faulted,
+        "fast_path": fast_path,
+        "faulted_overhead_budget": FAULTED_OVERHEAD_BUDGET,
         "kernels": kernels,
         "min_kernel_speedup": min(k["speedup"] for k in kernels),
         "equivalent": not mismatches,
@@ -337,6 +501,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"f={entry['f']}: flat leader ingest "
             f"{entry['flat_leader_ingest_bytes']} B/round; "
             f"peak partial bytes {trail}"
+        )
+    for entry in report["faulted"]:
+        if entry["outcome"] == "completed":
+            repair = entry["repair"]
+            print(
+                f"faulted S={entry['shards']}: masked at "
+                f"{entry['overhead_ratio']:.2f}x modeled overhead "
+                f"({repair['level_retries']} retries, "
+                f"{repair['repairs']} repairs)"
+            )
+        else:
+            print(
+                f"faulted S={entry['shards']}: classified abort "
+                f"({entry['error']})"
+            )
+    if report["fast_path"]:
+        fast = report["fast_path"]
+        print(
+            f"fast path S={fast['shards']}: supervised fault-free wire "
+            f"{'identical' if fast['wire_identical'] else 'DIVERGED'}, "
+            f"{fast['repairs']} repairs"
         )
     for kernel in report["kernels"]:
         print(

@@ -41,9 +41,11 @@ import numpy as np
 from .attacks import evaluate_attack
 from .config import (
     CollusionPolicy,
+    FaultConfig,
     IntegrityConfig,
     ObservabilityConfig,
     PrivacyThresholds,
+    ResilienceConfig,
     ShardingConfig,
     StudyConfig,
 )
@@ -111,6 +113,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         power_threshold=args.beta,
     )
     observe = bool(args.trace or args.report)
+    faults = FaultConfig.off()
+    if args.chaos_seed is not None:
+        faults = FaultConfig.chaos(
+            args.chaos_seed, intensity=args.chaos_intensity
+        )
+    # An armed fault plan without the supervised runtime would fail
+    # unmasked, so a chaos seed implies supervision.
+    supervised = args.supervised or args.chaos_seed is not None
     config = StudyConfig(
         snp_count=cohort.num_snps,
         thresholds=thresholds,
@@ -124,6 +134,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         integrity=(
             IntegrityConfig.on() if args.integrity else IntegrityConfig.off()
         ),
+        faults=faults,
+        resilience=(
+            ResilienceConfig.supervised()
+            if supervised
+            else ResilienceConfig.off()
+        ),
     )
     result = run_study(cohort, config, args.members)
 
@@ -136,6 +152,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         vulnerable = result.collusion.vulnerable_snps(tuple(result.l_safe))
         print(f"  collusion: {result.collusion.combinations_evaluated} "
               f"combinations, {len(vulnerable)} vulnerable SNPs withheld")
+    if result.observability is not None:
+        repair = result.observability.meta.get("sharding", {}).get("repair")
+        if repair:
+            print(f"  resilience: tree repaired {repair['repairs']}x "
+                  f"(layout epoch {repair['epoch']})")
 
     if args.json:
         payload = {
@@ -381,6 +402,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable Byzantine-integrity checks: broadcast-consistency "
         "echo, channel-transcript cross-checks and checkpoint freshness "
         "(docs/RESILIENCE.md)",
+    )
+    run.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run under the protocol supervisor: checkpoints, leader "
+        "failover and (sharded) tree repair (docs/RESILIENCE.md)",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        help="arm the seeded drop/duplicate/delay/corrupt fault plan "
+        "with this seed; implies --supervised",
+    )
+    run.add_argument(
+        "--chaos-intensity",
+        type=float,
+        default=0.15,
+        help="total fault probability per sent envelope for --chaos-seed",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -197,6 +197,16 @@ class FaultConfig:
             attempt) that a compromised leader-side trusted module sends
             that recipient a divergent broadcast body — the attack the
             broadcast-consistency echo round exists to catch.
+        shard_flip_rate: probability (per shard task, per emission
+            attempt) that the compromised trusted module on
+            ``shard_flip_target`` emits an in-bounds falsified leaf
+            partial into the combine tree — interior-node equivocation,
+            the attack the shard commitment verification catches.  Like
+            ``equivocate_rate`` this models module compromise rather
+            than a network action, so it is excluded from the
+            per-envelope rate budget.
+        shard_flip_target: the member whose emitted shard partials are
+            falsified; required whenever ``shard_flip_rate > 0``.
         checkpoint_tamper: ``""`` (off), ``"stale"`` (one failover
             restore is served the *oldest* sealed checkpoint — a
             rollback replay, rejected via the platform counter),
@@ -222,6 +232,8 @@ class FaultConfig:
     withhold_rate: float = 0.0
     withhold_target: str = ""
     equivocate_rate: float = 0.0
+    shard_flip_rate: float = 0.0
+    shard_flip_target: str = ""
     checkpoint_tamper: str = ""
     crash_points: Tuple[Tuple[str, int], ...] = ()
     partition_windows: Tuple[Tuple[str, int, int], ...] = ()
@@ -235,9 +247,14 @@ class FaultConfig:
             "replay_rate",
             "withhold_rate",
             "equivocate_rate",
+            "shard_flip_rate",
         ):
             rate = getattr(self, name)
             _require(0.0 <= rate <= 1.0, f"{name} must be in [0, 1]")
+        _require(
+            self.shard_flip_rate == 0.0 or bool(self.shard_flip_target),
+            "shard_flip_rate needs a shard_flip_target member",
+        )
         _require(
             self.drop_rate
             + self.duplicate_rate
@@ -291,15 +308,17 @@ class FaultConfig:
         intensity: float = 0.1,
         equivocate_rate: float = 0.0,
         withhold_target: str = "",
+        shard_flip_rate: float = 0.0,
+        shard_flip_target: str = "",
         checkpoint_tamper: str = "",
         crash_points: Tuple[Tuple[str, int], ...] = (),
     ) -> "FaultConfig":
         """An adversarial profile: replay + targeted withholding.
 
         ``intensity`` is split evenly between REPLAY and WITHHOLD;
-        equivocation and checkpoint tampering are opt-in because they
-        model a compromised trusted module / storage host rather than
-        the network.
+        equivocation, shard-partial falsification and checkpoint
+        tampering are opt-in because they model a compromised trusted
+        module / storage host rather than the network.
         """
         _require(0.0 <= intensity <= 1.0, "intensity must be in [0, 1]")
         share = intensity / 2.0
@@ -310,6 +329,8 @@ class FaultConfig:
             withhold_rate=share,
             withhold_target=withhold_target,
             equivocate_rate=equivocate_rate,
+            shard_flip_rate=shard_flip_rate,
+            shard_flip_target=shard_flip_target,
             checkpoint_tamper=checkpoint_tamper,
             crash_points=crash_points,
         )
@@ -340,6 +361,10 @@ class ResilienceConfig:
         backoff_factor: multiplier applied per further attempt.
         max_failovers: leader replacements tolerated per study before a
             :class:`~repro.errors.LeaderFailoverError` abort.
+        max_repairs: shard-tree repairs (member enclave replacement +
+            task re-run after a mid-combine crash or quarantine)
+            tolerated per study before the underlying classified error
+            propagates; only consulted for sharded studies.
     """
 
     enabled: bool = False
@@ -347,12 +372,14 @@ class ResilienceConfig:
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
     max_failovers: int = 2
+    max_repairs: int = 2
 
     def __post_init__(self) -> None:
         _require(self.max_attempts >= 1, "max_attempts must be at least 1")
         _require(self.backoff_base_s >= 0.0, "backoff_base_s must be >= 0")
         _require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
         _require(self.max_failovers >= 0, "max_failovers must be >= 0")
+        _require(self.max_repairs >= 0, "max_repairs must be >= 0")
 
     @classmethod
     def off(cls) -> "ResilienceConfig":
@@ -366,6 +393,7 @@ class ResilienceConfig:
         backoff_base_s: float = 0.05,
         backoff_factor: float = 2.0,
         max_failovers: int = 2,
+        max_repairs: int = 2,
     ) -> "ResilienceConfig":
         return cls(
             enabled=True,
@@ -373,6 +401,7 @@ class ResilienceConfig:
             backoff_base_s=backoff_base_s,
             backoff_factor=backoff_factor,
             max_failovers=max_failovers,
+            max_repairs=max_repairs,
         )
 
 
@@ -547,11 +576,18 @@ class StudyConfig:
             self.sharding.num_shards <= self.snp_count,
             "num_shards cannot exceed snp_count",
         )
-        _require(
-            not (self.sharding.enabled and self.resilience.enabled),
-            "sharding does not yet compose with the supervised resilient "
-            "runtime (tree rounds bypass the retry/failover exchange)",
-        )
+        if self.sharding.enabled and self.resilience.enabled:
+            # Sharded tree rounds run through the resilient exchange and
+            # the tree-repair controller; the composition only makes
+            # sense with at least one retry before a member is declared
+            # unresponsive (a single attempt would turn every transient
+            # drop on a combine edge into a repair).
+            _require(
+                self.resilience.max_attempts >= 2,
+                "sharding with resilience needs max_attempts >= 2 so "
+                "combine edges can retry before declaring a member "
+                "unresponsive",
+            )
 
 
 @dataclass(frozen=True)

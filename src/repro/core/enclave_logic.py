@@ -145,7 +145,17 @@ class GenDPREnclave(Enclave):
         self._shard_tree: Optional[AggregationTree] = None
         self._shard_tasks: Dict[str, Dict[str, Any]] = {}
         self._shard_accum: Dict[str, Dict[str, Any]] = {}
-        self._shard_counts_done = 0
+        #: Shard indices whose counts task completed (resume boundary;
+        #: a set so a repaired re-run folds idempotently).
+        self._shard_counts_done: set = set()
+        #: Shard indices whose moments task completed (resume boundary).
+        self._shard_moments_done: set = set()
+        #: Tree-repair generation: bumped by ``shard_repair`` after a
+        #: mid-round member loss, rotating the deterministic layout.
+        self._shard_epoch = 0
+        #: Leader ledger of leaf commitments, keyed (kind, shard, node);
+        #: the integrity layer's verification re-run compares against it.
+        self._shard_commitments: Dict[Tuple[str, int, str], bytes] = {}
         self._ld_shard_buckets: Optional[Dict[int, List[Tuple[int, int]]]] = None
         # Per-(combination, pair) pooled case moments installed by the
         # tree aggregation (sharded runs); the flat path leaves it empty.
@@ -173,6 +183,10 @@ class GenDPREnclave(Enclave):
         # tier installs to make the leader equivocate (never installed
         # in production configurations).
         self._equivocation_adversary = None
+        # Simulation hook: a compromised-module adversary that falsifies
+        # this enclave's own shard-leaf statistics before emission
+        # (exercises the dual-run commitment comparison).
+        self._shard_adversary = None
 
     # ------------------------------------------------------------------
     # Trusted provisioning (attestation-time, not host-callable ECALLs)
@@ -207,6 +221,18 @@ class GenDPREnclave(Enclave):
         adversarial control, to exercise the echo-round detection.
         """
         self._equivocation_adversary = adversary
+
+    def install_shard_adversary(self, adversary) -> None:
+        """Install the chaos tier's compromised-module hook.
+
+        Simulation-only: models an interior tree node whose leaf
+        statistics are falsified before emission.  A *crash* replacement
+        re-installs the hook (the platform stays compromised); a
+        *quarantine* replacement installs a fresh attested module and
+        passes ``None`` (the lie was in the module, and re-attestation
+        restores honesty).
+        """
+        self._shard_adversary = adversary
 
     @classmethod
     def trusted_state_names(cls) -> set:
@@ -298,9 +324,12 @@ class GenDPREnclave(Enclave):
             return
         members = list(study["member_ids"])
         self._shard_plan = plan_shards(
-            study["snp_count"], num_shards, members
+            study["snp_count"], num_shards, members,
+            epoch=self._shard_epoch,
         )
-        self._shard_tree = aggregation_tree(members, study["leader_id"])
+        self._shard_tree = aggregation_tree(
+            members, study["leader_id"], epoch=self._shard_epoch
+        )
 
     def _reset_study_state(self) -> None:
         """Clear every per-study aggregate so a warm enclave can serve a
@@ -337,7 +366,10 @@ class GenDPREnclave(Enclave):
         self._shard_tasks = {}
         for task_id in list(self._shard_accum):
             self._drop_shard_accum(task_id)
-        self._shard_counts_done = 0
+        self._shard_counts_done = set()
+        self._shard_moments_done = set()
+        self._shard_epoch = 0
+        self._shard_commitments = {}
         self._ld_shard_buckets = None
         self._combo_pair_moments = {}
         self._shard_counters = dict(_SHARD_COUNTER_ZERO)
@@ -672,11 +704,11 @@ class GenDPREnclave(Enclave):
             raise PhaseOrderError("summaries must be collected before MAF")
         config = self._config()
         if self._shard_plan is not None and (
-            self._shard_counts_done != self._shard_plan.num_shards
+            len(self._shard_counts_done) != self._shard_plan.num_shards
         ):
             raise PhaseOrderError(
                 f"sharded count aggregation incomplete: "
-                f"{self._shard_counts_done} of "
+                f"{len(self._shard_counts_done)} of "
                 f"{self._shard_plan.num_shards} shards finished"
             )
         survivor_sets: List[set] = []
@@ -817,8 +849,14 @@ class GenDPREnclave(Enclave):
 
     def _shard_leaf(
         self, store: SealedColumnStore, spec: Dict[str, Any]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, bytes]:
         """This node's combined partial: own leaf + all children's sums.
+
+        Returns ``(stats, counts, leaf_digest)`` where ``leaf_digest``
+        commits to this node's *own* leaf contribution (after any
+        installed shard adversary mutated it, before child partials are
+        folded in) — the quantity the dual-run commitment comparison
+        checks for equivocation.
 
         Raises unless *every* tree child has delivered its partial — a
         host that drops or reorders combine rounds fails closed here.
@@ -833,6 +871,16 @@ class GenDPREnclave(Enclave):
         else:
             local = self._local_moments(store, spec["pairs"])[:, :3]
             stats = membership[:, None, None] * local[None, :, :]
+        if self._shard_adversary is not None:
+            stats = np.asarray(
+                self._shard_adversary.mutate(
+                    spec["kind"], spec["shard"], stats
+                ),
+                dtype=np.int64,
+            )
+        leaf_digest = hashlib.sha256(
+            np.ascontiguousarray(stats).tobytes()
+        ).digest()
         counts = membership * store.num_rows
         accum = self._shard_accum.get(spec["task"])
         expected = len(tree.children(self.enclave_id))
@@ -845,7 +893,7 @@ class GenDPREnclave(Enclave):
         if accum is not None:
             stats = stats + accum["stats"]
             counts = counts + accum["counts"]
-        return stats, counts
+        return stats, counts, leaf_digest
 
     def _note_partial(self, stats: np.ndarray, counts: np.ndarray) -> None:
         size = int(stats.nbytes + counts.nbytes)
@@ -861,11 +909,41 @@ class GenDPREnclave(Enclave):
         spec = self._open(leader, "shard-task", frame)
         self._install_shard_task(spec)
 
+    def _shard_commitment_record(
+        self, spec: Dict[str, Any], leaf_digest: bytes
+    ) -> Tuple[bytes, bytes]:
+        """Signed leaf commitment ``(record, sig)`` for one task emission.
+
+        The record binds ``(study, kind, shard, node, leaf digest)``
+        under the broadcast-echo MAC key every enclave derives from the
+        study's data-authenticity root, so the untrusted hosts relaying
+        commitments to the leader cannot forge or splice them.  The
+        task id is deliberately absent: the integrity layer compares the
+        commitment of a verification re-run (a fresh task id) against
+        the original run's.
+        """
+        record = serialization.encode(
+            {
+                "study": self._config()["study_id"],
+                "kind": spec["kind"],
+                "shard": int(spec["shard"]),
+                "node": self.enclave_id,
+                "leaf": leaf_digest,
+            }
+        )
+        return record, self._echo_signer.sign(record)
+
     @ecall
     def shard_emit_partial(
         self, store: SealedColumnStore, task_id: str, parent: str
-    ) -> bytes:
-        """Combine own leaf with child partials; emit one frame upward."""
+    ) -> Dict[str, bytes]:
+        """Combine own leaf with child partials; emit one frame upward.
+
+        Returns the parent-bound frame plus a signed commitment to this
+        node's own leaf contribution, which the orchestrator forwards to
+        the leader (``lead_ingest_shard_commitment``) when the integrity
+        layer is active.
+        """
         spec = self._shard_tasks.get(task_id)
         if spec is None:
             raise PhaseOrderError(f"unknown shard task {task_id!r}")
@@ -877,16 +955,17 @@ class GenDPREnclave(Enclave):
                 f"{self.enclave_id} aggregates toward {expected_parent}, "
                 f"not {parent}"
             )
-        stats, counts = self._shard_leaf(store, spec)
+        stats, counts, leaf_digest = self._shard_leaf(store, spec)
         self._note_partial(stats, counts)
         frame = self._protect(
             parent,
             "shard",
             {"task": task_id, "stats": stats, "counts": counts},
         )
+        record, sig = self._shard_commitment_record(spec, leaf_digest)
         self._shard_counters["partials_emitted"] += 1
         self._drop_shard_task(task_id)
-        return frame
+        return {"frame": frame, "commitment": record, "sig": sig}
 
     @ecall
     def shard_ingest_partial(self, peer: str, frame: bytes) -> None:
@@ -1006,16 +1085,29 @@ class GenDPREnclave(Enclave):
 
     @ecall
     def lead_finish_shard_task(
-        self, store: SealedColumnStore, task_id: str
+        self, store: SealedColumnStore, task_id: str, verify: bool = False
     ) -> None:
-        """Fold the completed tree root of one task into leader state."""
+        """Fold the completed tree root of one task into leader state.
+
+        With ``verify=True`` (integrity layer, second run of the same
+        ``(kind, shard)`` coordinates) nothing is folded: the freshly
+        aggregated root is compared against the state the original run
+        installed, and any divergence — after the per-node commitment
+        comparison has already attributed lying leaves — is an
+        unattributed equivocation (classified abort).
+        """
         self._require_leader()
         spec = self._shard_tasks.get(task_id)
         if spec is None:
             raise PhaseOrderError(f"unknown shard task {task_id!r}")
         plan = self._shard_plan_required()
-        stats, counts = self._shard_leaf(store, spec)
+        stats, counts, leaf_digest = self._shard_leaf(store, spec)
         self._note_partial(stats, counts)
+        self._ledger_own_leaf(spec, leaf_digest, verify)
+        if verify:
+            self._verify_shard_root(spec, stats, counts)
+            self._drop_shard_task(task_id)
+            return
         snp_count = self._config()["snp_count"]
         if spec["kind"] == "counts":
             shard = plan.ranges[spec["shard"]]
@@ -1028,9 +1120,9 @@ class GenDPREnclave(Enclave):
                     stats[index]
                 )
                 self._check_combo_size(combo_id, int(counts[index]))
-            self._shard_counts_done += 1
+            self._shard_counts_done.add(int(spec["shard"]))
             if (
-                self._shard_counts_done == plan.num_shards
+                len(self._shard_counts_done) == plan.num_shards
                 and self._member_sizes
                 and self._combo_sizes.get("f0")
                 != sum(self._member_sizes.values())
@@ -1052,7 +1144,157 @@ class GenDPREnclave(Enclave):
                     )
             self._ld_cached.update(pairs)
             self._ld_pairs_fetched += len(pairs)
+            self._shard_moments_done.add(int(spec["shard"]))
         self._drop_shard_task(task_id)
+
+    def _ledger_own_leaf(
+        self, spec: Dict[str, Any], leaf_digest: bytes, verify: bool
+    ) -> None:
+        """Record (or, verifying, compare) the leader's own leaf digest."""
+        key = (spec["kind"], int(spec["shard"]), self.enclave_id)
+        if not verify:
+            self._shard_commitments[key] = leaf_digest
+            return
+        recorded = self._shard_commitments.get(key)
+        if recorded is None or not hmac.compare_digest(recorded, leaf_digest):
+            raise EquivocationError(
+                "leader leaf contribution diverged between the original "
+                "and verification shard runs",
+                stage=f"shard:{spec['kind']}:{spec['shard']}",
+                reporter=self.enclave_id,
+                peer=self.enclave_id,
+            )
+
+    def _verify_shard_root(
+        self, spec: Dict[str, Any], stats: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Compare a verification re-run's root against installed state.
+
+        Per-node commitments matched (``lead_ingest_shard_commitment``
+        raised otherwise), so a divergent fold here cannot be pinned on
+        a single leaf: it is reported unattributed and the study takes a
+        classified abort instead of repairing around anyone.
+        """
+        mismatch = False
+        if spec["kind"] == "counts":
+            shard = self._shard_plan_required().ranges[spec["shard"]]
+            for index, (combo_id, _f, _members) in enumerate(self._combos):
+                installed = self._combo_counts.get(combo_id)
+                if (
+                    installed is None
+                    or not np.array_equal(
+                        installed[shard.start : shard.stop], stats[index]
+                    )
+                    or self._combo_sizes.get(combo_id) != int(counts[index])
+                ):
+                    mismatch = True
+                    break
+        else:
+            cache = self._combo_pair_moments
+            for index, (combo_id, _f, _members) in enumerate(self._combos):
+                size = int(counts[index])
+                for pair, (mu_l, mu_r, mu_lr) in zip(
+                    spec["pairs"], stats[index].tolist()
+                ):
+                    expected = ld.PairMoments(
+                        mu_l, mu_r, mu_lr, mu_l, mu_r, count=size
+                    )
+                    if cache.get((combo_id, *pair)) != expected:
+                        mismatch = True
+                        break
+                if mismatch:
+                    break
+        if mismatch:
+            raise EquivocationError(
+                "shard verification run diverged from the original fold "
+                "with matching leaf commitments",
+                stage=f"shard:{spec['kind']}:{spec['shard']}",
+                reporter=self.enclave_id,
+            )
+
+    @ecall
+    def lead_ingest_shard_commitment(
+        self, record: bytes, sig: bytes, verify: bool = False
+    ) -> None:
+        """Ledger (or, verifying, compare) one node's leaf commitment.
+
+        The original run of each shard task records every emitting
+        node's signed leaf digest keyed ``(kind, shard, node)``.  The
+        integrity layer's verification re-run replays the task with
+        fresh task ids and passes ``verify=True``: a node whose leaf
+        digest changed between the two runs *equivocated* — its module
+        answered the same attested question two ways — and is named in
+        the raised :class:`EquivocationError` so the supervisor can
+        quarantine it and the protocol can repair the tree around it.
+        """
+        self._require_leader()
+        self._echo_signer.verify(bytes(record), bytes(sig))
+        entry = serialization.decode(bytes(record))
+        if entry.get("study") != self._config()["study_id"]:
+            raise ProtocolError("shard commitment for a different study")
+        node = str(entry.get("node"))
+        if node not in self._config()["member_ids"]:
+            raise ProtocolError(f"shard commitment from unknown node {node!r}")
+        kind = str(entry.get("kind"))
+        if kind not in _SHARD_KINDS:
+            raise ProtocolError(f"shard commitment of unknown kind {kind!r}")
+        key = (kind, int(entry["shard"]), node)
+        digest = bytes(entry["leaf"])
+        if not verify:
+            self._shard_commitments[key] = digest
+            return
+        recorded = self._shard_commitments.get(key)
+        if recorded is None or not hmac.compare_digest(recorded, digest):
+            raise EquivocationError(
+                f"{node} committed to different leaf statistics across "
+                f"the original and verification shard runs",
+                stage=f"shard:{kind}:{entry['shard']}",
+                reporter=self.enclave_id,
+                peer=node,
+            )
+
+    @ecall
+    def shard_progress(self) -> Dict[str, Any]:
+        """Leader's shard-task completion state (failover resume point).
+
+        Reports the explicit index sets of completed counts and moments
+        tasks, so a restored orchestrator resumes each sharded phase
+        from the last completed combine boundary instead of re-running
+        the whole phase.
+        """
+        self._require_leader()
+        return {
+            "counts_done": sorted(self._shard_counts_done),
+            "moments_done": sorted(self._shard_moments_done),
+            "epoch": int(self._shard_epoch),
+        }
+
+    @ecall
+    def shard_repair(self, epoch: int) -> None:
+        """Adopt tree-repair generation ``epoch``: rebuild plan and tree.
+
+        Broadcast by the orchestrator to every surviving enclave after a
+        member loss mid-tree-round.  Every open shard task and partial
+        accumulator is discarded (the interrupted task re-runs from leaf
+        partials under the new layout) and the plan/tree are re-derived
+        from the attested study parameters plus the epoch — so a
+        Byzantine orchestrator calling this can only *re-shape* the
+        deterministic layout (and desynchronised epochs fail closed as
+        parent/child mismatches), never redefine ranges or re-root the
+        tree.  Idempotent for the current epoch.
+        """
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ProtocolError("shard repair epoch must be >= 0")
+        self._shard_plan_required()
+        if epoch == self._shard_epoch and not self._shard_tasks:
+            return
+        self._shard_epoch = epoch
+        for task_id in list(self._shard_tasks):
+            self._drop_shard_task(task_id)
+        for task_id in list(self._shard_accum):
+            self._drop_shard_accum(task_id)
+        self._build_shard_layout()
 
     def _check_combo_size(self, combo_id: str, size: int) -> None:
         """Pooled sizes must agree across every shard of a combination."""
@@ -1801,7 +2043,12 @@ class GenDPREnclave(Enclave):
     # keys die with the enclave and are re-agreed on recovery.
 
     def _checkpoint_payload(self) -> Dict[str, Any]:
-        members = sorted(self._member_counts)
+        # Sizes and counts are keyed independently: sharded studies
+        # collect declared sizes without per-member count vectors (the
+        # pooled counts arrive through the tree), so keying sizes off
+        # the counts dict would silently drop them from the blob.
+        members = sorted(self._member_sizes)
+        count_ids = sorted(self._member_counts)
         moment_keys = sorted(self._member_pair_moments)
         local_keys = sorted(self._local_pair_moments)
         ref_keys = sorted(self._reference_pair_moments)
@@ -1817,7 +2064,8 @@ class GenDPREnclave(Enclave):
         return {
             "study": self._study,
             "member_ids": members,
-            "member_counts": [self._member_counts[m] for m in members],
+            "count_ids": count_ids,
+            "member_counts": [self._member_counts[m] for m in count_ids],
             "member_sizes": [self._member_sizes[m] for m in members],
             "reference_counts": self._reference_counts,
             "reference_rows": self._reference_rows,
@@ -1846,7 +2094,16 @@ class GenDPREnclave(Enclave):
             "combo_moment_values": pack_moments(
                 combo_moment_keys, self._combo_pair_moments
             ),
-            "shard_counts_done": self._shard_counts_done,
+            "shard_counts_done": sorted(self._shard_counts_done),
+            "shard_moments_done": sorted(self._shard_moments_done),
+            "shard_epoch": int(self._shard_epoch),
+            "shard_commitment_keys": [
+                list(k) for k in sorted(self._shard_commitments)
+            ],
+            "shard_commitment_values": [
+                self._shard_commitments[k]
+                for k in sorted(self._shard_commitments)
+            ],
             "request_counter": self._lr_request_counter,
         }
 
@@ -1896,9 +2153,10 @@ class GenDPREnclave(Enclave):
             self._study["member_ids"], list(self._study["f_values"])
         )
         members = state["member_ids"]
+        count_ids = state.get("count_ids", members)
         self._member_counts = {
             m: np.asarray(c, dtype=np.int64)
-            for m, c in zip(members, state["member_counts"])
+            for m, c in zip(count_ids, state["member_counts"])
         }
         self._member_sizes = {
             m: int(s) for m, s in zip(members, state["member_sizes"])
@@ -1915,8 +2173,10 @@ class GenDPREnclave(Enclave):
         self._plain_retained = {
             k: [int(s) for s in v] for k, v in state["plain_retained"].items()
         }
+        # np.array (not asarray): the decoder hands back read-only
+        # buffer views, and sharded count folds write into slices.
         self._combo_counts = {
-            c: np.asarray(v, dtype=np.int64)
+            c: np.array(v, dtype=np.int64)
             for c, v in zip(state["combo_ids"], state["combo_counts"])
         }
         self._combo_sizes = {
@@ -1960,7 +2220,25 @@ class GenDPREnclave(Enclave):
             ),
             lambda k: (str(k[0]), int(k[1]), int(k[2])),
         )
-        self._shard_counts_done = int(state.get("shard_counts_done", 0))
+        counts_done = state.get("shard_counts_done", [])
+        # Older checkpoints carried an in-order completion count; newer
+        # ones carry the explicit shard-index list.
+        if isinstance(counts_done, int):
+            counts_done = range(counts_done)
+        self._shard_counts_done = {int(s) for s in counts_done}
+        self._shard_moments_done = {
+            int(s) for s in state.get("shard_moments_done", [])
+        }
+        # The repair epoch must land before the layout is re-derived so
+        # a restored leader rebuilds the *repaired* plan and tree.
+        self._shard_epoch = int(state.get("shard_epoch", 0))
+        self._shard_commitments = {
+            (str(k[0]), int(k[1]), str(k[2])): bytes(v)
+            for k, v in zip(
+                state.get("shard_commitment_keys", []),
+                state.get("shard_commitment_values", []),
+            )
+        }
         self._build_shard_layout()
         members_set = self._other_members()
         self._ld_cached = {

@@ -140,6 +140,11 @@ class Federation:
     )
     #: Number of leader replacements performed so far.
     failovers: int = 0
+    #: Channel topology inherited from the substrate ("star" or "mesh");
+    #: a member replacement re-attests exactly the channels this names.
+    topology: str = "star"
+    #: Number of member-enclave replacements (shard tree repairs).
+    member_restorations: int = 0
 
     @property
     def member_ids(self) -> List[str]:
@@ -219,6 +224,81 @@ class Federation:
             self.fault_injector.on_ecall if self.fault_injector is not None else None
         )
         self.hosts[self.leader_id].enclave = guarded(replacement, interceptor)
+        return replacement
+
+    def replace_member_enclave(
+        self, member_id: str, *, reinstall_adversary: bool = True
+    ) -> GenDPREnclave:
+        """Provision a replacement *member* enclave (shard tree repair).
+
+        The member's genotype partition is not lost with its enclave:
+        the host still holds the sealed dataset store, and a fresh
+        enclave on the *same platform* derives the same sealing key, so
+        the replacement answers from the original data without any data
+        movement.  The replacement re-attests exactly the channels the
+        federation's topology gave its predecessor (every peer on a
+        mesh, the leader alone on a star).
+
+        ``reinstall_adversary`` distinguishes the two repair causes: a
+        *crash* replacement inherits a compromised platform's shard
+        adversary (the attacker owns the site, not the enclave
+        instance), while a *quarantine* replacement deliberately loads a
+        fresh attested module — modelling the operator re-deploying
+        audited code — which is what lets a detected equivocation
+        resolve into a clean completion.
+        """
+        if member_id == self.leader_id:
+            raise ProtocolError(
+                "leader replacement goes through replace_leader_enclave"
+            )
+        if member_id not in self.hosts:
+            raise ProtocolError(f"unknown member {member_id!r}")
+        self.member_restorations += 1
+        rng = DeterministicRng(
+            f"federation/{self.config.study_id}/{self.config.seed}"
+            f"/repair/{member_id}/{self.member_restorations}"
+        )
+        replacement = GenDPREnclave(
+            platform_key=self.platforms[member_id].root_key,
+            enclave_id=member_id,
+            data_auth_key=self.data_auth_key,
+            rng=rng.fork("enclave"),
+        )
+        replacement.ecall(
+            "configure",
+            _study_params(self.config, self.member_ids, self.leader_id),
+            label="repair",
+        )
+        replacement.install_rollback_counter(
+            self.platforms[member_id].monotonic_counter(ROLLBACK_COUNTER)
+        )
+        if reinstall_adversary and self.fault_injector is not None:
+            adversary = self.fault_injector.shard_adversary()
+            if adversary is not None and adversary.target == member_id:
+                replacement.install_shard_adversary(adversary)
+        peers = (
+            [p for p in self.member_ids if p != member_id]
+            if self.topology == "mesh"
+            else [self.leader_id]
+        )
+        verifier = self.attestation.verifier()
+        for peer_id in peers:
+            member_end, peer_end, hs_bytes = establish_channel(
+                replacement,
+                self.platforms[member_id],
+                self.enclaves[peer_id],
+                self.platforms[peer_id],
+                verifier,
+                rng=rng.fork(f"channel/{peer_id}"),
+            )
+            replacement.install_channel(member_end)
+            self.enclaves[peer_id].install_channel(peer_end)
+            self.handshake_bytes += hs_bytes
+        self.enclaves[member_id] = replacement
+        interceptor = (
+            self.fault_injector.on_ecall if self.fault_injector is not None else None
+        )
+        self.hosts[member_id].enclave = guarded(replacement, interceptor)
         return replacement
 
 
@@ -446,6 +526,19 @@ def bind_study(
     )
     substrate.enclaves[leader_id].install_equivocation_adversary(adversary)
 
+    # Same for a compromised shard emitter: install on the targeted
+    # member, clear everywhere else (a previous study may have armed a
+    # different node).
+    shard_adversary = (
+        fault_injector.shard_adversary() if fault_injector is not None else None
+    )
+    for gdo_id, enclave in substrate.enclaves.items():
+        enclave.install_shard_adversary(
+            shard_adversary
+            if shard_adversary is not None and shard_adversary.target == gdo_id
+            else None
+        )
+
     # Members verify and seal their signed local datasets (binary fast
     # path; the text SignedVcf container is accepted equivalently).
     data_signer = MacSigner(substrate.data_auth_key, purpose="vcf-dataset")
@@ -474,6 +567,7 @@ def bind_study(
         handshake_bytes=substrate.handshake_bytes,
         data_auth_key=substrate.data_auth_key,
         fault_injector=fault_injector,
+        topology=substrate.topology,
     )
 
 

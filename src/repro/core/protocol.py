@@ -13,6 +13,7 @@ and accounting.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
@@ -20,8 +21,10 @@ from typing import Dict, Optional, Tuple
 from ..config import StudyConfig
 from ..errors import (
     AuthenticationError,
+    EnclaveCrashedError,
     EquivocationError,
     IntegrityError,
+    MemberUnresponsiveError,
     NetworkError,
     PhaseOrderError,
     ProtocolError,
@@ -71,6 +74,23 @@ class GenDPRProtocol:
         self._supervision: Optional[Dict[str, object]] = None
         #: Lazily derived (ShardPlan, AggregationTree) for sharded runs.
         self._shard_layout = None
+        #: Tree-repair generation the orchestrator is driving; bumped by
+        #: ``_repair_tree`` and re-broadcast after a leader failover.
+        self._shard_epoch = 0
+        #: Member replacements spent against ``resilience.max_repairs``.
+        self._shard_repairs = 0
+        #: Repair/retry accounting for the observability bridge.
+        self._shard_runtime: Dict[str, int] = {
+            "repairs": 0,
+            "tasks_rerun": 0,
+            "level_retries": 0,
+            "partials_redelivered": 0,
+            "verify_runs": 0,
+        }
+        #: Mid-phase checkpoint hook installed by the supervisor; called
+        #: after every completed shard task so a failover resumes from
+        #: the last combine boundary instead of the phase start.
+        self._progress_checkpoint = None
         self._resilient = None
         #: Optional per-round hook installed by the serving layer:
         #: ``gate(kind)`` returns a context manager entered around every
@@ -320,6 +340,7 @@ class GenDPRProtocol:
                     gdo: host.enclave.ecall("shard_stats", label="report")
                     for gdo, host in federation.hosts.items()
                 },
+                repair=dict(self._shard_runtime, epoch=self._shard_epoch),
             )
         if federation.fault_injector is not None:
             record_faults(registry, federation.fault_injector.counters())
@@ -340,10 +361,24 @@ class GenDPRProtocol:
         }
         if federation.config.sharding.enabled:
             plan, _tree = self._shard_structures()
+            config = federation.config
             meta["sharding"] = {
                 "num_shards": plan.num_shards,
-                "plan_digest": plan.digest(),
+                # The fingerprint-committed epoch-0 layout, always.
+                "plan_digest": plan_shards(
+                    config.snp_count,
+                    config.sharding.num_shards,
+                    federation.member_ids,
+                ).digest(),
             }
+            if self._shard_epoch:
+                # Tree repair happened: record the repaired layout's
+                # digest alongside the original.
+                meta["sharding"]["repair"] = {
+                    "epoch": self._shard_epoch,
+                    "repairs": self._shard_runtime["repairs"],
+                    "plan_digest": plan.digest(),
+                }
         quarantined = monitor.quarantined()
         if quarantined:
             meta["quarantined"] = [report.to_dict() for report in quarantined]
@@ -440,16 +475,43 @@ class GenDPRProtocol:
                     config.snp_count,
                     config.sharding.num_shards,
                     federation.member_ids,
+                    epoch=self._shard_epoch,
                 ),
-                aggregation_tree(federation.member_ids, federation.leader_id),
+                aggregation_tree(
+                    federation.member_ids,
+                    federation.leader_id,
+                    epoch=self._shard_epoch,
+                ),
             )
         return self._shard_layout
+
+    def invalidate_shard_layout(self) -> None:
+        """Drop the cached (plan, tree) pair; next use re-derives it.
+
+        Called whenever anything feeding the layout changes — a tree
+        repair bumping the epoch, a failover resynchronising state — so
+        the orchestrator can never schedule against a stale cache.
+        """
+        self._shard_layout = None
+
+    def resync_after_failover(self) -> None:
+        """Re-align every enclave's shard state after a leader failover.
+
+        The restored checkpoint may predate the latest tree repair, and
+        surviving members may still hold shard tasks the crashed leader
+        attempt opened; re-broadcasting the orchestrator-tracked epoch
+        drops every open task and puts all enclaves back on one layout.
+        No-op for unsharded studies.
+        """
+        if not self._federation.config.sharding.enabled:
+            return
+        self._broadcast_shard_repair()
+        self.invalidate_shard_layout()
 
     def _phase_summaries_sharded(self, clock: PhaseClock) -> None:
         """Member sizes flat, count vectors per shard through the tree."""
         store, ref_store = self._leader_stores()
         leader = self._federation.leader_host.enclave
-        plan, _tree = self._shard_structures()
         with clock.task(DATA_AGGREGATION, self._accounting):
             leader.ecall(
                 "lead_collect_sizes",
@@ -458,18 +520,13 @@ class GenDPRProtocol:
                 self._exchange,
                 label="summaries",
             )
+            done = self._completed_shards("counts")
+            plan, _tree = self._shard_structures()
             for shard in plan.ranges:
-                task_id = leader.ecall(
-                    "lead_open_shard_task",
-                    "counts",
-                    shard.index,
-                    self._exchange,
-                    label="shard",
-                )
-                self._tree_combine(task_id, "shard:counts")
-                leader.ecall(
-                    "lead_finish_shard_task", store, task_id, label="shard"
-                )
+                if shard.index in done:
+                    continue
+                self._run_shard_task("counts", shard.index)
+                self._note_task_boundary()
             self._verify_integrity("summaries", echo=False)
 
     def _phase_shard_moments(self, clock: PhaseClock) -> None:
@@ -480,43 +537,267 @@ class GenDPRProtocol:
         prefetch finds everything cached and the walks issue no flat
         member rounds (outside rare lookahead misses).
         """
-        store, _ref_store = self._leader_stores()
-        leader = self._federation.leader_host.enclave
-        plan, _tree = self._shard_structures()
         with clock.task(LD_ANALYSIS, self._accounting):
+            done = self._completed_shards("moments")
+            plan, _tree = self._shard_structures()
             for shard in plan.ranges:
-                task_id = leader.ecall(
-                    "lead_open_shard_task",
-                    "moments",
-                    shard.index,
-                    self._exchange,
-                    label="shard",
-                )
-                if task_id is None:
+                if shard.index in done:
                     continue
-                self._tree_combine(task_id, "shard:moments")
-                leader.ecall(
-                    "lead_finish_shard_task", store, task_id, label="shard"
+                self._run_shard_task("moments", shard.index)
+                self._note_task_boundary()
+
+    def _completed_shards(self, kind: str) -> set:
+        """Shard indices whose ``kind`` task already folded (resume).
+
+        Only consulted on the supervised path: a failover restored the
+        leader from a mid-phase checkpoint, and the re-run phase must
+        skip every task completed before the crash.  The plain path
+        always starts phases from scratch, so no progress ECALL is
+        issued and its ECALL sequence stays byte-identical.
+        """
+        if self._resilient is None:
+            return set()
+        progress = self._federation.leader_host.enclave.ecall(
+            "shard_progress", label="shard"
+        )
+        key = "counts_done" if kind == "counts" else "moments_done"
+        return {int(s) for s in progress[key]}
+
+    def _note_task_boundary(self) -> None:
+        """Mid-phase checkpoint hook: one completed shard task."""
+        if self._progress_checkpoint is not None:
+            self._progress_checkpoint()
+
+    def _run_shard_task(self, kind: str, shard_index: int) -> None:
+        """Run one shard task end-to-end, repairing the tree on failure.
+
+        The plain path is a single open → combine → finish pass.  Under
+        resilience, a member-enclave crash or an exhausted delivery
+        budget mid-round triggers *tree repair*: the member's enclave is
+        replaced on its platform, the repair epoch is bumped (rotating
+        the deterministic plan/tree), every enclave adopts the new
+        layout, and the task re-runs from leaf partials.  With the
+        integrity layer active, every finished task is re-run in verify
+        mode; a node whose leaf commitment differs between the two runs
+        equivocated and is quarantined, replaced with a fresh attested
+        module, and repaired around.  Budget exhaustion re-raises the
+        triggering error — a classified abort, never a silent
+        continuation.
+        """
+        if self._resilient is None:
+            self._shard_task_once(kind, shard_index)
+            return
+        federation = self._federation
+        leader_id = federation.leader_id
+        first = True
+        while True:
+            if not first:
+                self._shard_runtime["tasks_rerun"] += 1
+            first = False
+            try:
+                opened = self._shard_task_once(kind, shard_index)
+                if opened and self._integrity:
+                    self._shard_runtime["verify_runs"] += 1
+                    self._shard_task_once(kind, shard_index, verify=True)
+                return
+            except MemberUnresponsiveError as exc:
+                member = exc.report.member_id if exc.report else ""
+                if not member or member == leader_id:
+                    raise
+                self._repair_tree(member, reinstall_adversary=True, cause=exc)
+            except EquivocationError as exc:
+                federation.integrity_monitor.record_detection(exc)
+                if not exc.peer or exc.peer == leader_id:
+                    # Unattributed (or leader-implicating) divergence:
+                    # surface it to the supervisor, whose rollback to
+                    # the last task boundary discards the suspect fold.
+                    raise
+                self._quarantine_shard_node(exc)
+                self._repair_tree(
+                    exc.peer, reinstall_adversary=False, cause=exc
                 )
 
-    def _tree_combine(self, task_id: str, kind: str) -> None:
+    def _shard_task_once(
+        self, kind: str, shard_index: int, *, verify: bool = False
+    ) -> bool:
+        """One open → tree combine → finish pass of a shard task.
+
+        Returns whether a task was opened (moments shards owning no LD
+        pairs are skipped).  ``verify`` marks the integrity layer's
+        re-run: the leader compares instead of folding.
+        """
+        store, _ref_store = self._leader_stores()
+        leader = self._federation.leader_host.enclave
+        task_id = leader.ecall(
+            "lead_open_shard_task",
+            kind,
+            shard_index,
+            self._exchange,
+            label="shard",
+        )
+        if task_id is None:
+            return False
+        self._tree_combine(task_id, f"shard:{kind}", verify=verify)
+        leader.ecall(
+            "lead_finish_shard_task", store, task_id, verify, label="shard"
+        )
+        return True
+
+    # -- tree repair ---------------------------------------------------------
+
+    def _spend_repair(self, cause: Exception) -> None:
+        """Charge one member replacement against the repair budget."""
+        policy = self._federation.config.resilience
+        if self._shard_repairs >= policy.max_repairs:
+            raise cause
+        self._shard_repairs += 1
+        self._shard_runtime["repairs"] += 1
+
+    def _repair_tree(
+        self, member_id: str, *, reinstall_adversary: bool, cause: Exception
+    ) -> None:
+        """Replace ``member_id``'s enclave and re-shape the combine tree.
+
+        The replacement runs on the same platform (same sealing key, so
+        the host-held sealed dataset store stays readable) and the
+        epoch bump deterministically rotates shard ownership and the
+        tree interior, so the repaired layout's digest is recordable
+        alongside the original.  ``reinstall_adversary`` distinguishes a
+        crash (the platform stays compromised) from a quarantine (a
+        fresh attested module is honest).
+        """
+        federation = self._federation
+        self._spend_repair(cause)
+        with TRACER.span(
+            "shard.repair", member=member_id, epoch=self._shard_epoch + 1
+        ):
+            flushed = 0
+            for node_id in federation.network.nodes():
+                flushed += federation.network.flush(node_id)
+            if federation.fault_injector is not None:
+                flushed += federation.fault_injector.reset_in_flight()
+            federation.replace_member_enclave(
+                member_id, reinstall_adversary=reinstall_adversary
+            )
+            self._shard_epoch += 1
+            self.invalidate_shard_layout()
+            self._broadcast_shard_repair()
+            if TRACER.enabled:
+                TRACER.event(
+                    "shard.repair_complete",
+                    member=member_id,
+                    epoch=self._shard_epoch,
+                    flushed_messages=flushed,
+                    cause=type(cause).__name__,
+                )
+
+    def _broadcast_shard_repair(self) -> None:
+        """Put every enclave on the orchestrator-tracked repair epoch.
+
+        A member whose crash point fires during this very broadcast is
+        replaced (charged against the repair budget) and told again —
+        otherwise a single unlucky crash would strand the federation on
+        mixed epochs.
+        """
+        federation = self._federation
+        leader_id = federation.leader_id
+        for node_id in list(federation.hosts):
+            while True:
+                try:
+                    federation.hosts[node_id].enclave.ecall(
+                        "shard_repair", self._shard_epoch, label="repair"
+                    )
+                    break
+                except EnclaveCrashedError as exc:
+                    if node_id == leader_id or self._resilient is None:
+                        raise
+                    self._spend_repair(
+                        self._shard_unresponsive(
+                            node_id, "shard:repair", 0, "enclave_crashed"
+                        )
+                    )
+                    federation.replace_member_enclave(
+                        node_id, reinstall_adversary=True
+                    )
+
+    def _quarantine_shard_node(self, exc: EquivocationError) -> None:
+        """Record the quarantine decision for an equivocating tree node."""
+        from .resilience import FailureReport
+
+        federation = self._federation
+        federation.integrity_monitor.quarantine(
+            FailureReport(
+                study_id=federation.config.study_id,
+                member_id=exc.peer,
+                round_kind=exc.stage or "shard",
+                attempts=self._shard_repairs,
+                cause=type(exc).__name__,
+                simulated_time_s=federation.network.simulated_time,
+                counters=federation.integrity_monitor.counters(),
+            )
+        )
+        if TRACER.enabled:
+            TRACER.event(
+                "shard.equivocation_quarantine",
+                member=exc.peer,
+                stage=exc.stage,
+            )
+
+    def _shard_unresponsive(
+        self, member_id: str, kind: str, attempts: int, cause: str
+    ) -> MemberUnresponsiveError:
+        """A combine-round failure as a classified, attributed error."""
+        from .resilience import FailureReport
+
+        federation = self._federation
+        counters: Dict[str, int] = dict(self._shard_runtime)
+        injector = federation.fault_injector
+        if injector is not None:
+            counters.update(
+                {f"fault_{k}": v for k, v in injector.counters().items()}
+            )
+        return MemberUnresponsiveError(
+            f"member {member_id!r} lost during {kind!r} ({cause})",
+            report=FailureReport(
+                study_id=federation.config.study_id,
+                member_id=member_id,
+                round_kind=kind,
+                attempts=attempts,
+                cause=cause,
+                simulated_time_s=federation.network.simulated_time,
+                counters=counters,
+            ),
+        )
+
+    # -- tree combine --------------------------------------------------------
+
+    def _tree_combine(
+        self, task_id: str, kind: str, verify: bool = False
+    ) -> None:
         """Drive one task's pairwise combine rounds, deepest level first."""
         _plan, tree = self._shard_structures()
         for edges in tree.levels():
             if self._round_gate is not None:
                 with self._round_gate(kind):
-                    self._combine_level(task_id, kind, edges)
+                    self._combine_level(task_id, kind, edges, verify)
             else:
-                self._combine_level(task_id, kind, edges)
+                self._combine_level(task_id, kind, edges, verify)
 
-    def _combine_level(self, task_id: str, kind: str, edges) -> None:
+    def _combine_level(
+        self, task_id: str, kind: str, edges, verify: bool = False
+    ) -> None:
         """One tree level: every child emits its partial to its parent.
 
         Edges of a level touch distinct children, so parallel execution
         fans the emits out like an OCALL round; deliveries stay
         sequential in edge order (partial ingestion is int64 addition —
         commutative — so arrival grouping cannot change the sums).
+        Under resilience the level runs through the retrying variant;
+        this zero-overhead fast path stays byte-identical otherwise.
         """
+        if self._resilient is not None:
+            self._combine_level_resilient(task_id, kind, edges, verify)
+            return
         federation = self._federation
         network = federation.network
         injector = federation.fault_injector
@@ -539,7 +820,7 @@ class GenDPRProtocol:
                     task_id,
                     parent,
                     label="shard",
-                )
+                )["frame"]
                 elapsed = timer() - begin
                 network.send(
                     Envelope(
@@ -574,6 +855,136 @@ class GenDPRProtocol:
             )
         else:
             self._accounting.record_round(member_times, kind=kind)
+
+    def _combine_level_resilient(
+        self, task_id: str, kind: str, edges, verify: bool
+    ) -> None:
+        """One tree level under :class:`ResilientExchange` semantics.
+
+        Emissions run sequentially in edge order (each delivery's retry
+        pump owns its parent's inbox while the edge is in flight).  The
+        partial frame is AEAD-protected once by the child enclave;
+        retries re-ship the identical bytes and the parent side filters
+        its inbox by the expected frame hash, handing each unique frame
+        to the enclave exactly once — so drop, duplicate, delay and
+        corrupt faults on combine edges are masked without ever tripping
+        channel replay protection.  With the integrity layer active,
+        every emission's signed leaf commitment is forwarded to the
+        leader's ledger (compared on the verify re-run).
+        """
+        federation = self._federation
+        injector = federation.fault_injector
+        if injector is not None:
+            injector.begin_round(kind)
+        member_times: Dict[str, float] = {}
+        with TRACER.span(
+            "shard-level",
+            kind=kind,
+            edges=len(edges),
+            task=task_id,
+            resilient=True,
+        ):
+            for child, parent in edges:
+                host = federation.hosts[child]
+                begin = time.perf_counter()
+                try:
+                    emitted = host.enclave.ecall(
+                        "shard_emit_partial",
+                        host.store,
+                        task_id,
+                        parent,
+                        label="shard",
+                    )
+                except EnclaveCrashedError as exc:
+                    raise self._shard_unresponsive(
+                        child, kind, 0, "enclave_crashed"
+                    ) from exc
+                member_times[child] = member_times.get(child, 0.0) + (
+                    time.perf_counter() - begin
+                )
+                if self._integrity:
+                    federation.leader_host.enclave.ecall(
+                        "lead_ingest_shard_commitment",
+                        emitted["commitment"],
+                        emitted["sig"],
+                        verify,
+                        label="integrity",
+                    )
+                self._deliver_partial(
+                    kind, child, parent, emitted["frame"], member_times
+                )
+        self._accounting.record_round(member_times, kind=kind)
+
+    def _deliver_partial(
+        self,
+        kind: str,
+        child: str,
+        parent: str,
+        frame: bytes,
+        member_times: Dict[str, float],
+    ) -> None:
+        """Ship one combine frame with bounded retry and hash dedup."""
+        federation = self._federation
+        network = federation.network
+        policy = federation.config.resilience
+        expected = hashlib.sha256(frame).digest()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                network.send(
+                    Envelope(
+                        sender=child, receiver=parent, tag="shard", body=frame
+                    )
+                )
+            except NetworkError:
+                pass  # partitioned; the bounded retry below rides it out
+            while network.pending(parent):
+                envelope = network.receive(parent)
+                if (
+                    envelope.tag != "shard"
+                    or hashlib.sha256(envelope.body).digest() != expected
+                ):
+                    continue  # corrupted / stale / duplicate copy: junk
+                begin = time.perf_counter()
+                try:
+                    federation.hosts[parent].handle_envelope(envelope)
+                except EnclaveCrashedError as exc:
+                    if parent == federation.leader_id:
+                        raise  # the supervisor's failover machinery
+                    raise self._shard_unresponsive(
+                        parent, kind, attempts, "enclave_crashed"
+                    ) from exc
+                member_times[parent] = member_times.get(parent, 0.0) + (
+                    time.perf_counter() - begin
+                )
+                return
+            if attempts >= policy.max_attempts:
+                raise self._shard_unresponsive(
+                    parent, kind, attempts, "partial_lost"
+                )
+            self._shard_runtime["level_retries"] += 1
+            self._shard_backoff(parent, kind, attempts)
+            self._shard_runtime["partials_redelivered"] += 1
+
+    def _shard_backoff(self, member_id: str, kind: str, attempt: int) -> None:
+        """Exponential backoff on the simulated clock; release stragglers."""
+        policy = self._federation.config.resilience
+        delay = policy.backoff_base_s * policy.backoff_factor ** (attempt - 1)
+        self._federation.network.advance_clock(delay)
+        injector = self._federation.fault_injector
+        released = 0
+        if injector is not None:
+            released = injector.release_delayed(member_id)
+        if TRACER.enabled:
+            TRACER.event(
+                "shard.retry",
+                member=member_id,
+                kind=kind,
+                attempt=attempt,
+                backoff_s=delay,
+                released_delayed=released,
+            )
 
     def _phase_maf(self, clock: PhaseClock) -> None:
         leader = self._federation.leader_host.enclave

@@ -119,7 +119,10 @@ class ShardPlan:
 
 
 def plan_shards(
-    snp_count: int, num_shards: int, member_ids: Sequence[str]
+    snp_count: int,
+    num_shards: int,
+    member_ids: Sequence[str],
+    epoch: int = 0,
 ) -> ShardPlan:
     """Split ``snp_count`` columns into ``num_shards`` owned ranges.
 
@@ -127,6 +130,13 @@ def plan_shards(
     first ``L % S`` shards take one extra column) and owners are
     assigned round-robin over the *sorted* member ids, so every party
     that knows the study parameters derives the identical plan.
+
+    ``epoch`` is the tree-repair generation: each repair bumps it and
+    rotates the round-robin owner assignment by one, so a repaired
+    layout is a *different* deterministic plan (its digest is recorded
+    alongside the original) while the ranges — and therefore every
+    partial's wire shape — stay epoch-invariant.  Epoch 0 is the layout
+    the config fingerprint commits to.
     """
     if snp_count <= 0:
         raise ConfigError("snp_count must be positive")
@@ -139,6 +149,8 @@ def plan_shards(
         raise ConfigError("sharding needs at least one member")
     if len(set(owners)) != len(owners):
         raise ConfigError("duplicate member ids in shard plan")
+    if epoch < 0:
+        raise ConfigError("shard plan epoch must be >= 0")
     widths = equal_partition_sizes(snp_count, num_shards)
     ranges: List[ShardRange] = []
     start = 0
@@ -148,7 +160,7 @@ def plan_shards(
                 index=index,
                 start=start,
                 stop=start + width,
-                owner=owners[index % len(owners)],
+                owner=owners[(index + epoch) % len(owners)],
             )
         )
         start += width
@@ -218,10 +230,24 @@ class AggregationTree:
         return [by_depth[depth] for depth in sorted(by_depth, reverse=True)]
 
 
-def aggregation_tree(member_ids: Iterable[str], root: str) -> AggregationTree:
-    """Heap-shaped combine tree over ``member_ids`` rooted at ``root``."""
+def aggregation_tree(
+    member_ids: Iterable[str], root: str, epoch: int = 0
+) -> AggregationTree:
+    """Heap-shaped combine tree over ``member_ids`` rooted at ``root``.
+
+    ``epoch`` (the tree-repair generation) rotates the sorted non-root
+    order, so each repair deterministically re-shapes the interior of
+    the heap — a node that sat under a faulty parent lands on fresh
+    edges — without moving the root.  Epoch 0 is the original layout.
+    """
     members = sorted(member_ids)
     if root not in members:
         raise ConfigError(f"tree root {root!r} is not a federation member")
-    ordered = (root, *[member for member in members if member != root])
+    if epoch < 0:
+        raise ConfigError("aggregation tree epoch must be >= 0")
+    others = [member for member in members if member != root]
+    if others and epoch:
+        turn = epoch % len(others)
+        others = others[turn:] + others[:turn]
+    ordered = (root, *others)
     return AggregationTree(root=root, nodes=ordered)

@@ -65,11 +65,24 @@ class ProtocolSupervisor:
         protocol = self._protocol
         timings = PhaseTimings()
         clock = PhaseClock(timings)
+        # Sharded phases call back after every completed shard task, so
+        # the checkpoint trail has per-task granularity and a failover
+        # resumes from the last combine boundary, not the phase start.
+        protocol._progress_checkpoint = self._seal_progress
         steps = [("init", None)] + list(protocol.phase_steps())
         for name, step in steps:
             self._run_step(name, step, clock)
         protocol._supervision = self.stats()
         return protocol._build_result(timings)
+
+    def _seal_progress(self) -> None:
+        """Seal a mid-step checkpoint at a completed shard-task boundary."""
+        self._checkpoint = self._leader_ecall(
+            "checkpoint_state", label="checkpoint"
+        )
+        injector = self._federation.fault_injector
+        if injector is not None:
+            injector.on_checkpoint(self._checkpoint)
 
     def _run_step(self, name: str, step, clock: PhaseClock) -> None:
         """Run one phase step to a sealed checkpoint, retrying on crash."""
@@ -200,6 +213,10 @@ class ProtocolSupervisor:
                     # in its own right, counted at this site.
                     self._monitor.record_detection(exc)
                     raise
+            # Sharded runs: the restored checkpoint may predate the
+            # latest tree repair and members may hold tasks the crashed
+            # attempt opened — re-align every enclave on one layout.
+            self._protocol.resync_after_failover()
             self._events.append(
                 {
                     "event": "failover",

@@ -61,6 +61,9 @@ class FaultInjector:
         #: Cached compromised-broadcaster model — one instance per run,
         #: so attempt counters persist across leader failovers.
         self._equivocator: Optional["BroadcastEquivocator"] = None
+        #: Cached compromised-shard-emitter model, same lifetime rules
+        #: (attempt counters survive enclave replacement after a crash).
+        self._shard_equivocator: Optional["ShardEquivocator"] = None
         self._counters: Dict[str, int] = {
             "drops": 0,
             "duplicates": 0,
@@ -73,6 +76,7 @@ class FaultInjector:
             "replays": 0,
             "withholds": 0,
             "equivocations": 0,
+            "shard_equivocations": 0,
             "checkpoint_tampers": 0,
         }
         self._events: List[Dict[str, object]] = []
@@ -301,6 +305,25 @@ class FaultInjector:
         with self._lock:
             self._record("equivocate", "equivocations", **attributes)
 
+    def shard_adversary(self) -> Optional["ShardEquivocator"]:
+        """The compromised-shard-emitter model, or ``None`` when unarmed.
+
+        Installed into the targeted member enclave at provisioning time
+        and re-installed into a crash-replacement enclave (the platform
+        stays compromised); a *quarantine* replacement installs a fresh
+        attested module instead, which is what lets a detected
+        equivocation resolve into a clean completion.
+        """
+        if self._plan.shard_flip_rate <= 0.0:
+            return None
+        if self._shard_equivocator is None:
+            self._shard_equivocator = ShardEquivocator(self)
+        return self._shard_equivocator
+
+    def record_shard_equivocation(self, **attributes: object) -> None:
+        with self._lock:
+            self._record("shard_equivocate", "shard_equivocations", **attributes)
+
     def on_checkpoint(self, blob: Optional[SealedBlob]) -> None:
         """Observe a sealed checkpoint (the host stores them anyway).
 
@@ -404,6 +427,7 @@ class FaultInjector:
                 + self._counters["replays"]
                 + self._counters["withholds"]
                 + self._counters["equivocations"]
+                + self._counters["shard_equivocations"]
                 + self._counters["checkpoint_tampers"]
             )
 
@@ -452,3 +476,60 @@ class BroadcastEquivocator:
         # Any deterministic divergence works; drop the tail SNP (or
         # invent one when the list is empty) so digests cannot match.
         return list(snps[:-1]) if snps else [0]
+
+
+class ShardEquivocator:
+    """Models a compromised member module falsifying shard partials.
+
+    A Byzantine interior node of the combine tree cannot forge its
+    children's AEAD frames, but a compromised trusted module *can* lie
+    about its own leaf statistics before folding them in — an in-bounds
+    lie that passes every shape and bound check on the ingest path.  The
+    federation installs this hook into the ``shard_flip_target`` member
+    when the plan arms ``shard_flip_rate``; the enclave consults it per
+    ``(kind, shard)`` leaf computation.
+
+    Draws are keyed by a per-task attempt counter, so the integrity
+    layer's verification re-run of the same shard task is a *fresh*
+    attempt — the lie draws differently across the two runs, which is
+    exactly what the dual-run leaf-commitment comparison detects.  A
+    module that lies identically on every attempt is indistinguishable
+    from honest data and stays out of the model (documented in
+    ``docs/RESILIENCE.md``).
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self._injector = injector
+        self._lock = threading.Lock()
+        self._attempts: Dict[Tuple[str, int], int] = {}
+
+    @property
+    def target(self) -> str:
+        return self._injector.plan.shard_flip_target
+
+    def mutate(self, kind: str, shard: int, stats):
+        """The leaf statistics the module actually folds and emits.
+
+        ``stats`` is the honest int64 partial; the falsified copy stays
+        in bounds (one positive entry decremented) so only the
+        commitment cross-check — never a shape or bound guard — can
+        expose it.
+        """
+        with self._lock:
+            attempt = self._attempts.get((kind, shard), 0) + 1
+            self._attempts[(kind, shard)] = attempt
+        if not self._injector.plan.shard_flip_for(kind, shard, attempt):
+            return stats
+        flat = stats.reshape(-1)
+        positive = [i for i in range(flat.shape[0]) if flat[i] > 0]
+        forged = stats.copy()
+        if positive:
+            forged.reshape(-1)[positive[attempt % len(positive)]] -= 1
+        else:
+            # An all-zero leaf has nothing to decrement; leave it alone
+            # (the draw is still counted as an attempt, not an event).
+            return stats
+        self._injector.record_shard_equivocation(
+            kind=kind, shard=shard, attempt=attempt
+        )
+        return forged

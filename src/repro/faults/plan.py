@@ -87,6 +87,8 @@ class FaultPlan:
         withhold_rate: float = 0.0,
         withhold_target: str = "",
         equivocate_rate: float = 0.0,
+        shard_flip_rate: float = 0.0,
+        shard_flip_target: str = "",
         checkpoint_tamper: str = "",
         crash_points: Tuple[CrashPoint, ...] = (),
         partition_windows: Tuple[PartitionWindow, ...] = (),
@@ -110,6 +112,8 @@ class FaultPlan:
         self.withhold_rate = withhold_rate
         self.withhold_target = withhold_target
         self.equivocate_rate = equivocate_rate
+        self.shard_flip_rate = shard_flip_rate
+        self.shard_flip_target = shard_flip_target
         self.checkpoint_tamper = checkpoint_tamper
         self.crash_points = tuple(crash_points)
         self.partition_windows = tuple(partition_windows)
@@ -140,6 +144,8 @@ class FaultPlan:
             withhold_rate=config.withhold_rate,
             withhold_target=config.withhold_target,
             equivocate_rate=config.equivocate_rate,
+            shard_flip_rate=config.shard_flip_rate,
+            shard_flip_target=config.shard_flip_target,
             checkpoint_tamper=config.checkpoint_tamper,
             crash_points=tuple(
                 CrashPoint(enclave_id, index)
@@ -192,6 +198,17 @@ class FaultPlan:
         draw = self._draw("equivocate", stage, member, attempt)
         return draw < int(self.equivocate_rate * _DRAW_RESOLUTION)
 
+    def shard_flip_for(self, kind: str, shard: int, attempt: int) -> bool:
+        """Whether the compromised module falsifies this leaf emission.
+
+        Drawn per ``(kind, shard, attempt)``: each emission of the same
+        shard task (including the integrity layer's verification re-run,
+        which is a fresh attempt) draws afresh, which is exactly what
+        lets the dual-run commitment comparison expose the lie.
+        """
+        draw = self._draw("shardflip", kind, shard, attempt)
+        return draw < int(self.shard_flip_rate * _DRAW_RESOLUTION)
+
     def describe(self) -> dict:
         """Plan parameters as a JSON-friendly document (for reports)."""
         return {
@@ -204,6 +221,8 @@ class FaultPlan:
             "withhold_rate": self.withhold_rate,
             "withhold_target": self.withhold_target,
             "equivocate_rate": self.equivocate_rate,
+            "shard_flip_rate": self.shard_flip_rate,
+            "shard_flip_target": self.shard_flip_target,
             "checkpoint_tamper": self.checkpoint_tamper,
             "crash_points": [
                 {"enclave_id": p.enclave_id, "ecall_index": p.ecall_index}

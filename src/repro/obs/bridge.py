@@ -121,6 +121,7 @@ def record_shard(
     plan,
     tree,
     stats: Dict[str, Dict[str, int]],
+    repair: Dict[str, int] = None,
 ) -> None:
     """Feed SNP-range sharding accounting into ``shard.*`` metrics.
 
@@ -132,11 +133,26 @@ def record_shard(
     bytes); the per-enclave peak partial size lands in a gauge per
     enclave plus a histogram, which is what the bench reads to confirm
     the O(L/S) memory claim.
+
+    ``repair``, when given, is the orchestrator's fault-tolerance
+    accounting for the tree rounds: the repair epoch lands in a gauge
+    (it is a level, not an event count) and everything else — member
+    replacements, task re-runs, per-level delivery retries, re-shipped
+    partials, integrity verify runs — in ``shard.repair.*`` counters,
+    so every masked combine-round fault leaves a trace in the report.
     """
     registry.gauge("shard.ranges").set(plan.num_shards)
     registry.gauge("shard.max_width").set(plan.max_width)
     registry.gauge("shard.tree_depth").set(tree.depth)
     registry.gauge("shard.aggregation_rounds").set(len(tree.levels()))
+    if repair:
+        registry.gauge("shard.repair.epoch").set(int(repair.get("epoch", 0)))
+        for name, value in sorted(repair.items()):
+            if name == "epoch":
+                continue
+            registry.counter(f"shard.repair.{metric_slug(name)}").inc(
+                int(value)
+            )
     peak = registry.histogram(
         "shard.peak_partial_bytes", bounds=BYTE_BUCKETS
     )

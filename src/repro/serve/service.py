@@ -353,10 +353,15 @@ class FederationService:
                 )
                 result = provisioned.run()
                 federation = provisioned.federation
-                if federation.failovers or federation.integrity_monitor.quarantined():
-                    # The study recovered (or flagged a member), but the
-                    # substrate is no longer the pristine mesh the pool
-                    # provisioned — retire it.
+                if (
+                    federation.failovers
+                    or federation.member_restorations
+                    or federation.integrity_monitor.quarantined()
+                ):
+                    # The study recovered (through leader failover or a
+                    # shard tree repair replacing a member enclave) or
+                    # flagged a member — the substrate is no longer the
+                    # pristine mesh the pool provisioned, so retire it.
                     healthy = False
             result.observability = self._session_report(session, result)
             session.result = result
@@ -415,6 +420,15 @@ class FederationService:
             "num_members": result.num_members,
             "l_safe": len(result.l_safe),
         }
+        if session.config.sharding.enabled:
+            # Sharded submissions surface their execution plan in the
+            # per-request report, mirroring the protocol's own meta.
+            registry.gauge("shard.ranges").set(
+                session.config.sharding.num_shards
+            )
+            meta["sharding"] = {
+                "num_shards": session.config.sharding.num_shards
+            }
         return RunReport(
             study_id=session.study_id,
             config_fingerprint=config_fingerprint(session.config),

@@ -26,6 +26,7 @@ from repro.config import (
     ExecutionConfig,
     FaultConfig,
     ResilienceConfig,
+    ShardingConfig,
 )
 from repro.core.federation import build_federation
 from repro.core.leader import elect_leader
@@ -44,6 +45,12 @@ CHAOS_SEEDS = list(range(1, 25))
 CRASH_SEEDS = {s for s in CHAOS_SEEDS if s % 5 == 0}
 #: Seeds whose plan additionally opens a short partition window.
 PARTITION_SEEDS = {s for s in CHAOS_SEEDS if s % 7 == 0}
+#: Subset of the sweep re-run sharded (per shard count in SHARD_AXIS):
+#: the same seeded plans, now also stressing tree rounds and repair.
+#: Hand-picked to cover both modes, both collusion settings, a leader
+#: crash (10, 15, 20) and a partition window (7).
+SHARDED_SEEDS = [1, 2, 7, 10, 15, 20]
+SHARD_AXIS = (2, 4)
 
 _collected_runs = []
 
@@ -191,6 +198,84 @@ def test_chaos_run_is_identical_or_classified(seed, chaos_cohort, references):
         _collected_runs.append(record)
 
 
+_sharded_decisions = {}
+
+
+@pytest.mark.parametrize("shards", SHARD_AXIS)
+@pytest.mark.parametrize("seed", SHARDED_SEEDS)
+def test_sharded_chaos_run_is_identical_or_classified(
+    seed, shards, chaos_cohort, references
+):
+    """The chaos invariant survives composition with sharding.
+
+    The same seeded plans, re-run with SNP-range sharding at each
+    shard count: tree rounds now carry the combine traffic, so drops,
+    delays and crashes land on combine edges and are masked by retry
+    and tree repair — or abort classified.  Completed runs must match
+    the *unsharded* fault-free reference, which also pins decision
+    identity across shard counts.
+    """
+    faults = _fault_config(seed)
+    config = dataclasses.replace(
+        _base_config(seed),
+        faults=faults,
+        sharding=ShardingConfig.over(shards),
+        resilience=ResilienceConfig.supervised(),
+    )
+    reference = references[(_mode(seed), _f(seed))]
+    federation = build_federation(
+        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+    )
+    record = {
+        "seed": seed,
+        "shards": shards,
+        "mode": _mode(seed),
+        "f": _f(seed),
+        "plan": federation.fault_injector.plan.describe(),
+    }
+    try:
+        result = GenDPRProtocol(federation).run()
+    except ReproError as exc:
+        record["outcome"] = "classified_abort"
+        record["error"] = type(exc).__name__
+        _sharded_decisions[(seed, shards)] = ("abort", type(exc).__name__)
+    else:
+        assert result.l_prime == reference.l_prime
+        assert result.l_double_prime == reference.l_double_prime
+        assert result.l_safe == reference.l_safe
+        record["outcome"] = "completed"
+        record["failovers"] = federation.failovers
+        record["member_restorations"] = federation.member_restorations
+        _sharded_decisions[(seed, shards)] = (
+            "completed",
+            tuple(result.l_safe),
+        )
+    finally:
+        record["injected"] = federation.fault_injector.counters()
+        _collected_runs.append(record)
+
+
+def test_sharded_sweep_decisions_identical_across_shard_counts():
+    """Every completed (seed, shards) cell released the same SNP set.
+
+    Runs after the sharded sweep (pytest executes in definition
+    order), so the decision table is complete.
+    """
+    assert len(_sharded_decisions) == len(SHARDED_SEEDS) * len(SHARD_AXIS)
+    completed = 0
+    for seed in SHARDED_SEEDS:
+        decisions = {
+            _sharded_decisions[(seed, shards)]
+            for shards in SHARD_AXIS
+            if _sharded_decisions[(seed, shards)][0] == "completed"
+        }
+        assert len(decisions) <= 1, f"seed {seed} diverged across shards"
+        completed += len(decisions)
+    # The subset is not allowed to abort wholesale: most plans at this
+    # intensity complete, proving the masked path does the masking.
+    assert completed >= len(SHARDED_SEEDS) // 2
+
+
 def test_sweep_covers_both_modes_and_collusion():
     cells = {(_mode(s), _f(s)) for s in CHAOS_SEEDS}
     assert cells == {
@@ -201,6 +286,13 @@ def test_sweep_covers_both_modes_and_collusion():
     }
     assert len(CHAOS_SEEDS) >= 20
     assert CRASH_SEEDS and PARTITION_SEEDS
+    # The sharded subset keeps the same spread: both modes, both
+    # collusion settings, at least one crash and one partition plan.
+    assert {_mode(s) for s in SHARDED_SEEDS} == {"sequential", "parallel"}
+    assert {_f(s) for s in SHARDED_SEEDS} == {0, 1}
+    assert set(SHARDED_SEEDS) & CRASH_SEEDS
+    assert set(SHARDED_SEEDS) & PARTITION_SEEDS
+    assert len(SHARD_AXIS) >= 2
 
 
 def test_chaos_replays_identically(chaos_cohort, references):

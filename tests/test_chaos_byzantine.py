@@ -56,6 +56,15 @@ EQUIVOCATE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 3 == 0}
 STALE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 5 == 0 and s % 7 != 0}
 #: Seeds whose plan serves a bit-flipped checkpoint at failover.
 CORRUPT_SEEDS = {s for s in BYZANTINE_SEEDS if s % 7 == 0}
+#: Subset of the sweep re-run sharded (per shard count in SHARD_AXIS).
+#: Hand-picked for both modes, both collusion settings, broadcast
+#: equivocators (102, 105, 108, 111) and corrupt-checkpoint tamperers
+#: (105, 112).
+SHARDED_SEEDS = [101, 102, 105, 108, 111, 112]
+SHARD_AXIS = (2, 4)
+#: Sharded seeds whose plan also arms combine-frame falsification on
+#: one member — interior-node equivocation against the tree rounds.
+SHARD_FLIP_SEEDS = {101, 108, 111}
 
 _collected_runs = []
 _aggregate_counters = {name: 0 for name in COUNTER_NAMES}
@@ -241,6 +250,96 @@ def test_byzantine_run_is_identical_or_classified(
         _collected_runs.append(record)
 
 
+def _sharded_fault_config(seed: int) -> FaultConfig:
+    """The seed's Byzantine plan, plus combine-frame falsification.
+
+    Shard-flip seeds arm the interior-node attack the shard commitment
+    verification exists to catch: a member's compromised module emits
+    in-bounds falsified leaf partials into the tree.
+    """
+    member = next(
+        m for m in (f"gdo-{i}" for i in range(MEMBERS)) if m != _leader_id()
+    )
+    return dataclasses.replace(
+        _fault_config(seed),
+        shard_flip_rate=0.35 if seed in SHARD_FLIP_SEEDS else 0.0,
+        shard_flip_target=member if seed in SHARD_FLIP_SEEDS else "",
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_AXIS)
+@pytest.mark.parametrize("seed", SHARDED_SEEDS)
+def test_sharded_byzantine_run_is_identical_or_classified(
+    seed, shards, chaos_cohort, references
+):
+    """The Byzantine invariant survives composition with sharding.
+
+    Tree rounds now carry the combine traffic under an armed
+    adversary — including, on the shard-flip seeds, a member
+    falsifying its own leaf partials.  Every run completes
+    bit-identical to the unsharded fault-free reference or aborts
+    classified, and every absorbed falsification was detected.
+    """
+    from repro.config import ShardingConfig
+
+    config = dataclasses.replace(
+        _base_config(seed),
+        faults=_sharded_fault_config(seed),
+        sharding=ShardingConfig.over(shards),
+        integrity=IntegrityConfig.on(),
+        resilience=ResilienceConfig.supervised(
+            max_attempts=6, max_failovers=3
+        ),
+    )
+    reference = references[(_mode(seed), _f(seed))]
+    federation = build_federation(
+        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
+    )
+    record = {
+        "seed": seed,
+        "shards": shards,
+        "mode": _mode(seed),
+        "f": _f(seed),
+        "plan": federation.fault_injector.plan.describe(),
+    }
+    try:
+        result = GenDPRProtocol(federation).run()
+    except ReproError as exc:
+        record["outcome"] = "classified_abort"
+        record["error"] = type(exc).__name__
+        if isinstance(exc, (IntegrityError, SealingError)):
+            assert federation.integrity_monitor.detections >= 1
+    else:
+        assert result.l_prime == reference.l_prime
+        assert result.l_double_prime == reference.l_double_prime
+        assert result.l_safe == reference.l_safe
+        record["outcome"] = "completed"
+        record["failovers"] = federation.failovers
+        record["member_restorations"] = federation.member_restorations
+        injected = federation.fault_injector.counters()
+        if injected["shard_equivocations"]:
+            # A completed run that absorbed a falsified partial must
+            # have detected it and repaired around the liar.
+            monitor = federation.integrity_monitor.counters()
+            assert monitor["equivocations_detected"] >= 1
+            assert federation.member_restorations >= 1
+    finally:
+        record["injected"] = federation.fault_injector.counters()
+        record["integrity"] = federation.integrity_monitor.counters()
+        for name, value in record["integrity"].items():
+            _aggregate_counters[name] += value
+        _collected_runs.append(record)
+
+
+def test_sharded_sweep_armed_the_interior_node_attack():
+    """At least one sharded run absorbed or aborted on a shard flip."""
+    sharded = [r for r in _collected_runs if "shards" in r]
+    assert len(sharded) == len(SHARDED_SEEDS) * len(SHARD_AXIS)
+    assert any(
+        r["injected"].get("shard_equivocations", 0) >= 1 for r in sharded
+    )
+
+
 def test_sweep_covers_modes_collusion_and_adversaries():
     cells = {(_mode(s), _f(s)) for s in BYZANTINE_SEEDS}
     assert cells == {
@@ -251,6 +350,14 @@ def test_sweep_covers_modes_collusion_and_adversaries():
     }
     assert len(BYZANTINE_SEEDS) >= 16
     assert EQUIVOCATE_SEEDS and STALE_SEEDS and CORRUPT_SEEDS
+    # The sharded subset keeps the spread and adds the interior-node
+    # attack on top of the broadcast/checkpoint adversaries.
+    assert {_mode(s) for s in SHARDED_SEEDS} == {"sequential", "parallel"}
+    assert {_f(s) for s in SHARDED_SEEDS} == {0, 1}
+    assert set(SHARDED_SEEDS) & EQUIVOCATE_SEEDS
+    assert set(SHARDED_SEEDS) & CORRUPT_SEEDS
+    assert SHARD_FLIP_SEEDS <= set(SHARDED_SEEDS)
+    assert len(SHARD_AXIS) >= 2
 
 
 def test_tier_exercises_every_detection_path():
@@ -259,7 +366,9 @@ def test_tier_exercises_every_detection_path():
     Runs after the parametrized sweep (pytest executes tests in
     definition order within a module), so the aggregate is complete.
     """
-    assert len(_collected_runs) == len(BYZANTINE_SEEDS)
+    assert len(_collected_runs) == len(BYZANTINE_SEEDS) + len(
+        SHARDED_SEEDS
+    ) * len(SHARD_AXIS)
     assert _aggregate_counters["equivocations_detected"] >= 1
     assert _aggregate_counters["stale_checkpoints_rejected"] >= 1
     assert _aggregate_counters["sealed_restore_failures"] >= 1

@@ -106,6 +106,51 @@ class TestCommands:
         ) == 0
         assert "4 SNPs" in capsys.readouterr().out
 
+    def test_run_sharded_with_chaos_seed(self, cohort_file, tmp_path, capsys):
+        """`run --shards N --chaos-seed S` composes sharding with the
+        seeded fault plan under supervision — and the faulted sharded
+        release matches the clean flat one bit for bit."""
+        faulted_out = str(tmp_path / "faulted.json")
+        clean_out = str(tmp_path / "clean.json")
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "3",
+                "--shards", "4",
+                "--chaos-seed", "7",
+                "--chaos-intensity", "0.1",
+                "--json", faulted_out,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "3",
+                "--json", clean_out,
+            ]
+        ) == 0
+        capsys.readouterr()
+        faulted = json.loads(open(faulted_out).read())
+        clean = json.loads(open(clean_out).read())
+        assert faulted["l_safe"] == clean["l_safe"]
+        assert faulted["l_prime"] == clean["l_prime"]
+        assert faulted["l_double_prime"] == clean["l_double_prime"]
+
+    def test_run_supervised_flag_without_faults(self, cohort_file, capsys):
+        assert main(
+            [
+                "run",
+                "--cohort", cohort_file,
+                "--members", "3",
+                "--shards", "2",
+                "--supervised",
+            ]
+        ) == 0
+        assert "L_des" in capsys.readouterr().out
+
     def test_missing_file_is_clean_error(self, capsys):
         assert main(["info", "--cohort", "/nope/missing.npz"]) == 1
         assert "error:" in capsys.readouterr().err
@@ -156,3 +201,23 @@ class TestServeCommands:
         with open(report_out, encoding="utf-8") as handle:
             report = json.load(handle)
         assert report["study_id"] == "cli-submitted"
+
+    def test_submit_sharded_study(self, cohort_file, tmp_path, capsys):
+        """`submit --shards N` drives a sharded study through the
+        service request path and reports shard accounting."""
+        report_out = str(tmp_path / "sharded_report.json")
+        assert main(
+            [
+                "submit",
+                "--cohort", cohort_file,
+                "--study-id", "cli-sharded",
+                "--shards", "4",
+                "--report", report_out,
+            ]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "cli-sharded" in captured
+        with open(report_out, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["meta"]["sharding"]["num_shards"] == 4
+        assert report["metrics"]["gauges"]["shard.ranges"] == 4

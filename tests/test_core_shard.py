@@ -146,14 +146,55 @@ class TestShardingConfig:
                 study_id="too-many-shards",
             )
 
-    def test_sharding_excludes_resilience(self):
+    def test_sharding_composes_with_resilience(self):
+        """Supervised sharding is allowed; it needs a retry budget."""
+        config = StudyConfig(
+            snp_count=100,
+            sharding=ShardingConfig.over(2),
+            resilience=ResilienceConfig.supervised(),
+            study_id="shards-with-resilience",
+        )
+        assert config.sharding.enabled and config.resilience.enabled
+        # Combine edges must be able to retry at least once before a
+        # member is declared unresponsive.
         with pytest.raises(ConfigError):
             StudyConfig(
                 snp_count=100,
                 sharding=ShardingConfig.over(2),
-                resilience=ResilienceConfig(enabled=True),
-                study_id="shards-with-resilience",
+                resilience=ResilienceConfig.supervised(max_attempts=1),
+                study_id="shards-without-retries",
             )
+
+    def test_shard_epoch_rotates_layout_deterministically(self):
+        base = plan_shards(100, 4, MEMBERS)
+        repaired = plan_shards(100, 4, MEMBERS, epoch=1)
+        # Ranges (and therefore wire shapes) are epoch-invariant; only
+        # the owner rotation and the digest change.
+        assert [(s.start, s.stop) for s in base.ranges] == [
+            (s.start, s.stop) for s in repaired.ranges
+        ]
+        assert [s.owner for s in base.ranges] != [
+            s.owner for s in repaired.ranges
+        ]
+        assert base.digest() != repaired.digest()
+        assert plan_shards(100, 4, MEMBERS, epoch=1).digest() == repaired.digest()
+        assert plan_shards(100, 4, MEMBERS, epoch=0).digest() == base.digest()
+        with pytest.raises(ConfigError):
+            plan_shards(100, 4, MEMBERS, epoch=-1)
+
+    def test_tree_epoch_keeps_root_and_reshapes_interior(self):
+        base = aggregation_tree(MEMBERS, root="gdo-0")
+        repaired = aggregation_tree(MEMBERS, root="gdo-0", epoch=1)
+        assert repaired.root == base.root == "gdo-0"
+        assert sorted(repaired.nodes) == sorted(base.nodes)
+        assert repaired.nodes != base.nodes
+        # Epoch rotation wraps around the non-root order.
+        full_turn = aggregation_tree(
+            MEMBERS, root="gdo-0", epoch=len(MEMBERS) - 1
+        )
+        assert full_turn.nodes == base.nodes
+        with pytest.raises(ConfigError):
+            aggregation_tree(MEMBERS, root="gdo-0", epoch=-1)
 
     def test_fingerprint_records_shard_count(self):
         """Sharding is part of the study identity, unlike execution mode."""
