@@ -340,10 +340,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     cohort = load_cohort_bundle(args.cohort)
     print(cohort.describe())
-    counts = cohort.case.allele_counts()
-    freqs = counts / cohort.case.num_individuals
-    print(f"case minor-allele frequency: min {freqs.min():.4f} "
-          f"median {np.median(freqs):.4f} max {freqs.max():.4f}")
+    # This used to echo the case panel's raw min/median/max MAF.  Raw
+    # per-cohort allele frequencies are exactly what the LR membership
+    # attack consumes (R6 flagged the flow source->stdout), so the
+    # summary now sticks to dimensions; DP-protected statistics come
+    # from running the protocol.
+    print("case minor-allele frequency: withheld "
+          "(raw MAFs enable membership inference; use 'run' for "
+          "DP-protected statistics)")
     return 0
 
 

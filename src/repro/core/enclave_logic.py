@@ -556,7 +556,7 @@ class GenDPREnclave(Enclave):
             for entry in request["requests"]:
                 set_id = entry["set"]
                 if set_id not in gathered:
-                    raise ProtocolError(
+                    raise ProtocolError(  # lint: disable=R6 (request/set ids are control-plane metadata)
                         f"LR entry {entry['rid']!r} references unknown "
                         f"column set {set_id!r}"
                     )
@@ -582,7 +582,7 @@ class GenDPREnclave(Enclave):
         payload = self._open(leader, "retained", frame)
         stage = payload["stage"]
         if stage not in _STAGES:
-            raise ProtocolError(f"unknown broadcast stage {stage!r}")
+            raise ProtocolError(f"unknown broadcast stage {stage!r}")  # lint: disable=R6 (stage names are protocol control-plane metadata)
         snps = [int(s) for s in payload["snps"]]
         self._received_retained[stage] = snps
         self._broadcast_digests[stage] = self._broadcast_digest(stage, snps)
@@ -811,13 +811,13 @@ class GenDPREnclave(Enclave):
     def _install_shard_task(self, spec: Dict[str, Any]) -> None:
         task_id = spec["task"]
         if task_id in self._shard_tasks:
-            raise ProtocolError(f"shard task {task_id!r} already open")
+            raise ProtocolError(f"shard task {task_id!r} already open")  # lint: disable=R6 (shard task ids are control-plane metadata)
         plan = self._shard_plan_required()
         if spec.get("kind") not in _SHARD_KINDS:
-            raise ProtocolError(f"unknown shard task kind {spec.get('kind')!r}")
+            raise ProtocolError(f"unknown shard task kind {spec.get('kind')!r}")  # lint: disable=R6 (shard task kinds are control-plane metadata)
         shard_index = int(spec["shard"])
         if not 0 <= shard_index < plan.num_shards:
-            raise ProtocolError(f"shard index {shard_index} out of range")
+            raise ProtocolError(f"shard index {shard_index} out of range")  # lint: disable=R6 (shard indices are control-plane metadata)
         normalized: Dict[str, Any] = {
             "task": str(task_id),
             "kind": str(spec["kind"]),
@@ -974,7 +974,7 @@ class GenDPREnclave(Enclave):
         task_id = str(payload["task"])
         spec = self._shard_tasks.get(task_id)
         if spec is None:
-            raise ProtocolError(
+            raise ProtocolError(  # lint: disable=R6 (task/peer ids are control-plane metadata)
                 f"partial for unknown shard task {task_id!r} from {peer}"
             )
         tree = self._shard_tree_required()
@@ -1014,7 +1014,7 @@ class GenDPREnclave(Enclave):
                 f"shard-accum/{task_id}", stats.nbytes + counts.nbytes
             )
         if peer in accum["seen"]:
-            raise ProtocolError(
+            raise ProtocolError(  # lint: disable=R6 (task/peer ids are control-plane metadata)
                 f"duplicate shard partial from {peer} for task {task_id!r}"
             )
         accum["seen"].add(peer)
@@ -1157,7 +1157,7 @@ class GenDPREnclave(Enclave):
             return
         recorded = self._shard_commitments.get(key)
         if recorded is None or not hmac.compare_digest(recorded, leaf_digest):
-            raise EquivocationError(
+            raise EquivocationError(  # lint: disable=R6 (shard labels are control-plane metadata)
                 "leader leaf contribution diverged between the original "
                 "and verification shard runs",
                 stage=f"shard:{spec['kind']}:{spec['shard']}",
@@ -1205,7 +1205,7 @@ class GenDPREnclave(Enclave):
                 if mismatch:
                     break
         if mismatch:
-            raise EquivocationError(
+            raise EquivocationError(  # lint: disable=R6 (shard labels are control-plane metadata)
                 "shard verification run diverged from the original fold "
                 "with matching leaf commitments",
                 stage=f"shard:{spec['kind']}:{spec['shard']}",
@@ -1302,7 +1302,7 @@ class GenDPREnclave(Enclave):
         if known is None:
             self._combo_sizes[combo_id] = size
         elif known != size:
-            raise ProtocolError(
+            raise ProtocolError(  # lint: disable=R6 (combo pool sizes are aggregate control-plane metadata)
                 f"combination {combo_id!r} pool size drifted across "
                 f"shards ({known} vs {size})"
             )
@@ -1396,12 +1396,12 @@ class GenDPREnclave(Enclave):
         request = self._open(leader, "transcript", frame)
         stage = str(request["stage"])
         if not hmac.compare_digest(bytes(request["send"]), recv_snap):
-            raise TranscriptDivergenceError(
+            raise TranscriptDivergenceError(  # lint: disable=R6 (stage names are control-plane metadata)
                 f"leader send transcript diverges from what "
                 f"{self.enclave_id} received (stage {stage!r})"
             )
         if not hmac.compare_digest(bytes(request["recv"]), sent_snap):
-            raise TranscriptDivergenceError(
+            raise TranscriptDivergenceError(  # lint: disable=R6 (stage names are control-plane metadata)
                 f"leader recv transcript diverges from what "
                 f"{self.enclave_id} sent (stage {stage!r})"
             )
@@ -1940,7 +1940,7 @@ class GenDPREnclave(Enclave):
                 matrix = np.asarray(member_matrices[rid], dtype=np.float64)
                 expected_shape = (self._member_sizes[member], width)
                 if matrix.shape != expected_shape:
-                    raise ProtocolError(
+                    raise ProtocolError(  # lint: disable=R6 (matrix shapes are dimensional metadata)
                         f"LR matrix from {member} has shape {matrix.shape}, "
                         f"expected {expected_shape}"
                     )

@@ -989,7 +989,9 @@ class GenDPRProtocol:
     def _phase_maf(self, clock: PhaseClock) -> None:
         leader = self._federation.leader_host.enclave
         with clock.task(INDEXING, self._accounting):
-            self._outputs["l_prime"] = leader.ecall("lead_run_maf", label="maf")
+            self._outputs["l_prime"] = leader.ecall(
+                "lead_run_maf", label="maf"
+            )  # lint: declassify(retained-SNP set after MAF filtering is a published protocol output)
             leader.ecall(
                 "lead_broadcast_retained", "prime", self._exchange,
                 label="broadcast",
@@ -1002,7 +1004,7 @@ class GenDPRProtocol:
         with clock.task(LD_ANALYSIS, self._accounting):
             self._outputs["l_double_prime"] = leader.ecall(
                 "lead_run_ld", store, ref_store, self._exchange, label="ld"
-            )
+            )  # lint: declassify(retained-SNP set after LD pruning is a published protocol output)
             leader.ecall(
                 "lead_broadcast_retained", "double_prime", self._exchange,
                 label="broadcast",
@@ -1015,7 +1017,7 @@ class GenDPRProtocol:
         with clock.task(LR_ANALYSIS, self._accounting):
             self._outputs["l_safe"] = leader.ecall(
                 "lead_run_lr", store, ref_store, self._exchange, label="lr"
-            )
+            )  # lint: declassify(LR-safe SNP set is the protocol's release decision)
             leader.ecall(
                 "lead_broadcast_retained", "safe", self._exchange,
                 label="broadcast",
@@ -1164,11 +1166,15 @@ class GenDPRProtocol:
 
         collusion: Optional[CollusionReport] = None
         if config.collusion.enabled:
-            outcomes = leader.ecall("lead_combo_outcomes", label="report")
+            outcomes = leader.ecall(
+                "lead_combo_outcomes", label="report"
+            )  # lint: declassify(collusion-pool outcomes are part of the study report)
             report = CollusionReport(
                 baseline_safe=tuple(
                     int(s)
-                    for s in leader.ecall("lead_plain_safe", label="report")
+                    for s in leader.ecall(
+                        "lead_plain_safe", label="report"
+                    )  # lint: declassify(non-DP baseline safe set for the collusion report)
                 )
             )
             for outcome in outcomes:
@@ -1202,7 +1208,9 @@ class GenDPRProtocol:
             enclave_cpu_utilization={
                 gdo: report.cpu_utilization for gdo, report in reports.items()
             },
-            release_power=float(leader.ecall("lead_release_power", label="report")),
+            release_power=float(
+                leader.ecall("lead_release_power", label="report")
+            ),  # lint: declassify(attack power over the released set is the headline metric)
             collusion=collusion,
             execution_mode=config.execution.mode,
             ocall_rounds=dict(self._accounting.rounds_by_kind),
@@ -1212,7 +1220,7 @@ class GenDPRProtocol:
         """The leader's chi-squared statistics over the safe set."""
         return self._federation.leader_host.enclave.ecall(
             "lead_release_statistics", label="release"
-        )
+        )  # lint: declassify(DP-protected chi-squared statistics are the study deliverable)
 
 
 def run_study(

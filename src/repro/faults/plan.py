@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 from ..config import FaultConfig
 from ..crypto.rng import DeterministicRng
+from ..errors import ConfigError
 
 #: Fault actions an envelope can draw.  ``None`` (no fault) is implied.
 DROP = "drop"
@@ -102,7 +103,7 @@ class FaultPlan:
             + withhold_rate
         )
         if total > 1.0 + 1e-12:
-            raise ValueError("fault rates must sum to at most 1")
+            raise ConfigError("fault rates must sum to at most 1")
         self.seed = seed
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate

@@ -140,6 +140,44 @@ def is_constant_bytes_like(node: ast.AST) -> bool:
     return False
 
 
+def statement_extents(tree: ast.AST) -> "List[Tuple[int, int]]":
+    """Physical-line extents of every statement, headers only.
+
+    Simple statements span ``lineno..end_lineno`` (a parenthesized call
+    spanning four lines is one extent).  Compound statements (defs,
+    ``if``/``for``/``with``/``try``) contribute only their *header* —
+    from the first decorator line to the line before the body starts —
+    so an extent never swallows the statement's nested body.  Used to
+    anchor inline suppressions and ``declassify`` markers to the whole
+    logical line a finding sits on.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or node.lineno
+        for decorator in getattr(node, "decorator_list", None) or []:
+            start = min(start, decorator.lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(node.lineno, body[0].lineno - 1)
+        extents.append((start, end))
+    return extents
+
+
+def innermost_extent(
+    extents: "List[Tuple[int, int]]", line: int
+) -> "Optional[Tuple[int, int]]":
+    """The smallest statement extent containing ``line``, if any."""
+    best: Optional[Tuple[int, int]] = None
+    for start, end in extents:
+        if start <= line <= end:
+            if best is None or (end - start) < (best[1] - best[0]):
+                best = (start, end)
+    return best
+
+
 @dataclass(frozen=True)
 class ClassContext:
     """Innermost enclosing class for canonical lock naming."""

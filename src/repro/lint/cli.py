@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional
 
@@ -58,6 +59,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--rules",
         help="comma-separated rule ids to run (default: all registered)",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program dataflow rules R6-R8 "
+        "(interprocedural secret-taint analysis)",
+    )
+    parser.add_argument(
+        "--flow-artifacts",
+        metavar="DIR",
+        help="write callgraph.json and declassifications.json (the "
+        "flow-pass artifacts) into this directory; implies --flow",
+    )
     parser.set_defaults(func=run_from_args)
 
 
@@ -73,13 +86,9 @@ def _resolve_config(args: argparse.Namespace, first_path: Path):
         selected = tuple(
             token.strip() for token in args.rules.split(",") if token.strip()
         )
-        config = LintConfig(
-            scope_map=config.scope_map,
-            rule_options=config.rule_options,
-            rule_scopes=config.rule_scopes,
-            enabled_rules=selected,
-            baseline_path=config.baseline_path,
-        )
+        config = replace(config, enabled_rules=selected)
+    if getattr(args, "flow", False) or getattr(args, "flow_artifacts", None):
+        config = config.with_flow(True)
     return config, config_path
 
 
@@ -116,6 +125,22 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"{len(result.findings)} finding(s)"
         )
         return 0
+
+    if getattr(args, "flow_artifacts", None):
+        artifact_dir = Path(args.flow_artifacts)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        for name, key in (
+            ("callgraph.json", "callgraph"),
+            ("declassifications.json", "declassifications"),
+        ):
+            (artifact_dir / name).write_text(
+                json.dumps(
+                    result.artifacts.get(key, {}), indent=2, sort_keys=True
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+        print(f"flow artifacts written to {artifact_dir}")
 
     if args.format == "json":
         rendered = json.dumps(

@@ -13,7 +13,7 @@ explicit TOML file raises, with a clear message.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +35,8 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
         "repro.core.phases",
         # Shard planner + tree: derived in-enclave from attested params.
         "repro.core.shard",
+        # Centralized-baseline enclave (the paper's comparison arm).
+        "repro.core.baseline",
     ),
     "protocol": ("repro.core",),
     "stats": ("repro.stats",),
@@ -43,6 +45,8 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "net": ("repro.net",),
     "resilience": ("repro.core.resilience", "repro.net"),
     "serve": ("repro.serve",),
+    "faults": ("repro.faults",),
+    "obs": ("repro.obs",),
 }
 
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -82,6 +86,15 @@ class LintConfig:
     #: Rule ids to run; ``None`` means every registered rule.
     enabled_rules: Optional[Tuple[str, ...]] = None
     baseline_path: Optional[str] = DEFAULT_BASELINE
+    #: Whether the whole-program dataflow rules (R6-R8) run.
+    flow_enabled: bool = False
+    #: Raw ``[lint.flow]`` table (taint-model overrides), passed to the
+    #: flow rules as the ``__flow__`` option.
+    flow: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_flow(self, enabled: bool = True) -> "LintConfig":
+        """Copy of this config with the flow pass toggled."""
+        return replace(self, flow_enabled=enabled)
 
     def options_for(self, rule_id: str) -> Mapping[str, Any]:
         return self.rule_options.get(rule_id, {})
@@ -135,12 +148,19 @@ def parse_config(document: Mapping[str, Any]) -> LintConfig:
     baseline = section.get("baseline", DEFAULT_BASELINE)
     if baseline is not None and not isinstance(baseline, str):
         raise LintConfigError("[lint].baseline must be a string path")
+    flow_enabled = False
+    flow: Mapping[str, Any] = {}
+    if "flow" in section:
+        flow = dict(_expect_table(section["flow"], "[lint.flow]"))
+        flow_enabled = bool(flow.get("enabled", False))
     return LintConfig(
         scope_map=ScopeMap(scopes),
         rule_options=rule_options,
         rule_scopes=rule_scopes,
         enabled_rules=enabled,
         baseline_path=baseline,
+        flow_enabled=flow_enabled,
+        flow=flow,
     )
 
 

@@ -25,7 +25,12 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import LintConfigError
-from .astutil import ImportTable, module_name_for_path
+from .astutil import (
+    ImportTable,
+    innermost_extent,
+    module_name_for_path,
+    statement_extents,
+)
 from .baseline import Baseline
 from .config import LintConfig
 from .findings import Finding, Severity
@@ -53,6 +58,12 @@ class LintResult:
         default_factory=list
     )
     all_findings: List[Finding] = field(default_factory=list)
+    #: Findings accepted by the baseline (reported, but non-failing).
+    baselined_findings: List[Finding] = field(default_factory=list)
+    #: Merged ``Rule.artifacts()`` outputs (inventories, call graph).
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    #: Rule ids that actually ran (flow rules are absent without --flow).
+    rules_run: List[str] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -149,18 +160,39 @@ def _suppressed_rules(line: str) -> Optional["frozenset[str]"]:
     )
 
 
-def _is_suppressed(finding: Finding, module: Optional[ModuleInfo]) -> bool:
+def _is_suppressed(
+    finding: Finding,
+    module: Optional[ModuleInfo],
+    extents: Optional[List[Tuple[int, int]]] = None,
+) -> bool:
+    """Inline-suppression check, anchored to whole logical statements.
+
+    A ``# lint: disable`` comment anywhere on the statement the finding
+    sits on suppresses it — so decorated defs and parenthesized calls
+    spanning several physical lines can carry the marker on any of
+    them, not only the exact finding line.  Compound-statement extents
+    cover headers only, so a marker inside a function body never
+    suppresses a finding on the ``def`` line.
+    """
     if module is None:
         return False
-    line = (
-        module.lines[finding.line - 1]
-        if 1 <= finding.line <= len(module.lines)
-        else ""
-    )
-    disabled = _suppressed_rules(line)
-    if disabled is None:
-        return False
-    return not disabled or finding.rule in disabled
+    extent = (
+        innermost_extent(extents, finding.line)
+        if extents is not None
+        else None
+    ) or (finding.line, finding.line)
+    for lineno in range(extent[0], extent[1] + 1):
+        line = (
+            module.lines[lineno - 1]
+            if 1 <= lineno <= len(module.lines)
+            else ""
+        )
+        disabled = _suppressed_rules(line)
+        if disabled is None:
+            continue
+        if not disabled or finding.rule in disabled:
+            return True
+    return False
 
 
 def run_lint(
@@ -192,16 +224,26 @@ def run_lint(
     for bound in bound_rules:
         for finding in bound.rule.finalize():
             raw.append((finding, modules_by_name.get(finding.module)))
+        for key, value in bound.rule.artifacts().items():
+            result.artifacts[key] = value
+    result.rules_run = [bound.rule.rule_id for bound in bound_rules]
 
+    extent_cache: Dict[str, List[Tuple[int, int]]] = {}
     for finding, module in sorted(
         raw, key=lambda item: (item[0].path, item[0].line, item[0].rule)
     ):
         result.all_findings.append(finding)
-        if _is_suppressed(finding, module):
+        extents = None
+        if module is not None:
+            if module.module not in extent_cache:
+                extent_cache[module.module] = statement_extents(module.tree)
+            extents = extent_cache[module.module]
+        if _is_suppressed(finding, module, extents):
             result.suppressed_inline += 1
             continue
         if baseline.covers(finding):
             result.baselined += 1
+            result.baselined_findings.append(finding)
             continue
         result.findings.append(finding)
     result.unused_baseline_entries = baseline.unused_entries()

@@ -7,19 +7,26 @@ The JSON document is the CI artifact: schema below, asserted by
 .. code-block:: text
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro.lint",
       "paths": ["src"],
       "clean": true,
-      "rules": {"R1": {"name": …, "rationale": …, …}, …},
+      "rules": {"R1": {"name": …, "rationale": …, …}, …},   # ran only
       "scopes": {"enclave": ["repro.tee", …], …},
       "findings": [{rule, severity, path, module, line, column,
                     message, fingerprint}, …],
+      "baselined": [{…same shape as findings…}, …],
+      "declassifications": [{target, caller, module, path, line,
+                             reason, marked}, …],   # [] without --flow
       "summary": {"files_scanned": n, "findings": n, "errors": n,
                   "suppressed_inline": n, "baselined": n,
                   "unused_baseline_entries": n,
                   "by_rule": {…}, "by_severity": {…}}
     }
+
+Version history: v1 had no ``baselined``/``declassifications`` arrays
+and listed every registered rule; v2 lists only the rules that ran
+(the flow rules R6-R8 are absent without ``--flow``).
 """
 
 from __future__ import annotations
@@ -30,21 +37,33 @@ from .config import LintConfig
 from .engine import LintResult
 from .rules import rule_catalog
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def json_report(
     result: LintResult, config: LintConfig, paths: Sequence[str]
 ) -> Dict[str, Any]:
     """The machine-readable run report (CI artifact)."""
+    catalog = rule_catalog()
+    ran = set(result.rules_run)
     return {
         "version": REPORT_VERSION,
         "tool": "repro.lint",
         "paths": list(paths),
         "clean": result.clean,
-        "rules": rule_catalog(),
+        "rules": {
+            rule_id: meta
+            for rule_id, meta in catalog.items()
+            if not ran or rule_id in ran
+        },
         "scopes": config.scope_map.as_dict(),
         "findings": [finding.as_dict() for finding in result.findings],
+        "baselined": [
+            finding.as_dict() for finding in result.baselined_findings
+        ],
+        "declassifications": list(
+            result.artifacts.get("declassifications", [])
+        ),
         "summary": {
             "files_scanned": result.files_scanned,
             "findings": len(result.findings),

@@ -50,6 +50,8 @@ class Rule:
     rationale: ClassVar[str] = ""
     default_scopes: ClassVar[Tuple[str, ...]] = ()
     severity: ClassVar[Severity] = Severity.ERROR
+    #: Whole-program dataflow rules only run under ``repro lint --flow``.
+    requires_flow: ClassVar[bool] = False
 
     def __init__(self, options: Mapping[str, Any]):
         self.options: Dict[str, Any] = dict(options)
@@ -59,6 +61,10 @@ class Rule:
 
     def finalize(self) -> Iterable[Finding]:
         return ()
+
+    def artifacts(self) -> Mapping[str, Any]:
+        """JSON-ready side outputs (inventories, graphs), post-finalize."""
+        return {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -109,6 +115,8 @@ class BoundRule:
     scopes: Tuple[str, ...]
 
     def applies_to(self, module_scopes: "frozenset[str]") -> bool:
+        if "*" in self.scopes:
+            return True
         return any(scope in module_scopes for scope in self.scopes)
 
 
@@ -118,10 +126,14 @@ def instantiate_rules(config: LintConfig) -> List[BoundRule]:
     for rule_id in sorted(REGISTRY):
         if config.enabled_rules is not None and rule_id not in config.enabled_rules:
             continue
+        cls = REGISTRY[rule_id]
+        if cls.requires_flow and not config.flow_enabled:
+            continue
         options = dict(config.options_for(rule_id))
         if options.pop("__disabled__", False):
             continue
-        cls = REGISTRY[rule_id]
+        if cls.requires_flow:
+            options["__flow__"] = dict(config.flow)
         scopes = config.scopes_for_rule(rule_id, cls.default_scopes)
         bound.append(BoundRule(rule=cls(options), scopes=scopes))
     return bound
@@ -147,6 +159,7 @@ def _load_builtin_rules() -> None:
     from . import locks  # noqa: F401
     from . import purity  # noqa: F401
     from . import taxonomy  # noqa: F401
+    from ..flow import rules as _flow_rules  # noqa: F401
 
 
 _load_builtin_rules()

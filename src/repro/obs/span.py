@@ -23,6 +23,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ConfigError
+
 
 @dataclass
 class Span:
@@ -93,7 +95,7 @@ class SpanCollector:
 
     def __init__(self, max_spans: Optional[int] = None):
         if max_spans is not None and max_spans <= 0:
-            raise ValueError("max_spans must be positive")
+            raise ConfigError("max_spans must be positive")
         self.max_spans = max_spans
         self._lock = threading.Lock()
         self._spans: List[Span] = []

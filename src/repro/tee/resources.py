@@ -89,6 +89,8 @@ class ResourceMeter:
         if TRACER.enabled:
             TRACER.event(
                 "tee.memory",
+                # lint: disable=R6 (buffer names are operator-chosen
+                # diagnostics; sizes are metadata, never cell values)
                 buffer=name,
                 buffer_bytes=num_bytes,
                 current_bytes=current,

@@ -1,0 +1,44 @@
+"""Miniature enclave with deliberate taint-flow violations."""
+
+
+class Store:
+    def load(self, idx):
+        return [idx]
+
+
+class Channel:
+    def protect(self, data):
+        return b"ciphertext"
+
+
+class MiniEnclave:
+    def __init__(self):
+        self.store = Store()
+        self.channel = Channel()
+
+    def leak_column(self, idx):
+        col = self.store.load(idx)
+        print(col)  # R6: genotype -> stdout
+        return self.channel.protect(col)
+
+    def log_helper(self, payload):
+        print(payload)  # leaks only when the caller passes secrets
+
+    def audit(self, idx):
+        col = self.store.load(idx)
+        self.log_helper(col)  # R6 via log_helper, anchored at line 25
+
+    def export_column(self, idx):
+        # Returns raw genotype data; callers outside the boundary
+        # trigger R7.
+        return self.store.load(idx)
+
+    def declared_result(self):
+        # Also returns taint, but is a declared ECALL result path.
+        return self.store.load(0)
+
+    def release_stats(self):
+        return 1.0
+
+    def ecall(self, name, *args):
+        return getattr(self, name)(*args)

@@ -1,0 +1,17 @@
+"""Untrusted host driving the miniature enclave."""
+
+from .enclave import MiniEnclave
+
+
+def metrics_push(value):
+    return value
+
+
+def run():
+    enc = MiniEnclave()
+    direct = enc.export_column(3)  # R7: direct crossing
+    via_ecall = enc.ecall("export_column", 4)  # R7: string-dispatched
+    allowed = enc.ecall("declared_result")  # ok: declared result path
+    stats = enc.release_stats()  # R8: missing declassify marker
+    metrics_push(direct)  # R6: genotype -> metrics (interprocedural)
+    return via_ecall, allowed, stats

@@ -1,0 +1,28 @@
+"""Miniature enclave where every flow is sanctioned or audited."""
+
+
+class Store:
+    def load(self, idx):
+        return [idx]
+
+
+class Channel:
+    def protect(self, data):
+        return b"ciphertext"
+
+
+class MiniEnclave:
+    def __init__(self):
+        self.store = Store()
+        self.channel = Channel()
+
+    def export_column(self, idx):
+        col = self.store.load(idx)
+        print(len(col))  # fine: len() is a clean call
+        return self.channel.protect(col)  # fine: sanctioned sink
+
+    def release_stats(self):
+        return 1.0
+
+    def ecall(self, name, *args):
+        return getattr(self, name)(*args)

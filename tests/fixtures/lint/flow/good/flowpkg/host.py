@@ -1,0 +1,10 @@
+"""Untrusted host using only sanctioned and audited paths."""
+
+from .enclave import MiniEnclave
+
+
+def run():
+    enc = MiniEnclave()
+    frame = enc.export_column(3)  # ok: ciphertext is clean
+    stats = enc.release_stats()  # lint: declassify(stats are the study output)
+    return frame, stats

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import FaultConfig
-from repro.errors import NetworkError
+from repro.errors import ConfigError, NetworkError
 from repro.faults import (
     ACTIONS,
     CrashPoint,
@@ -32,7 +32,7 @@ def _network(*nodes: str) -> SimulatedNetwork:
 
 class TestFaultPlan:
     def test_rates_must_sum_to_at_most_one(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             FaultPlan(drop_rate=0.6, duplicate_rate=0.5)
 
     def test_decisions_are_deterministic_and_order_independent(self):

@@ -44,6 +44,26 @@ def test_shipped_tree_is_lint_clean():
     assert result.files_scanned > 50  # whole tree, not a subset
 
 
+def test_shipped_tree_passes_the_flow_rules():
+    # The acceptance bar for R6-R8: zero unbaselined flow findings over
+    # src/, every declassifier call site carries a marker, and no
+    # marker is orphaned.
+    config = _repo_config().with_flow(True)
+    result = run_lint([SRC], config)
+    flow_findings = [
+        f for f in result.findings if f.rule in {"R6", "R7", "R8"}
+    ]
+    assert flow_findings == [], "\n".join(
+        f.render() for f in flow_findings
+    )
+    inventory = result.artifacts["declassifications"]
+    assert inventory, "expected a non-empty declassification inventory"
+    assert all(entry["marked"] for entry in inventory)
+    assert not any(entry.get("orphan") for entry in inventory)
+    # Call-graph artifact covers the whole tree.
+    assert result.artifacts["callgraph"]["functions"] > 500
+
+
 def test_baseline_is_empty():
     # All grandfathered violations have been fixed; keep it that way.
     baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
@@ -56,7 +76,9 @@ def test_default_scopes_cover_core_packages():
     assert "protocol" in scope_map.scopes_for("repro.core.phases")
     assert "crypto" in scope_map.scopes_for("repro.crypto.mac")
     assert "resilience" in scope_map.scopes_for("repro.net.network")
-    assert not scope_map.scopes_for("repro.obs.tracing")
+    assert "obs" in scope_map.scopes_for("repro.obs.tracing")
+    assert "faults" in scope_map.scopes_for("repro.faults.plan")
+    assert not scope_map.scopes_for("repro.genomics.genotype")
 
 
 @pytest.mark.skipif(sys.version_info < (3, 11), reason="tomllib is 3.11+")
