@@ -52,6 +52,7 @@ from .config import (
 from .core.protocol import run_study
 from .errors import ReproError, ServiceOverloadedError
 from .genomics import Cohort, GenotypeMatrix, SnpPanel, SyntheticSpec, generate_cohort
+from .fuzz.cli import configure_parser as configure_fuzz_parser
 from .lint.cli import configure_parser as configure_lint_parser
 from .obs import RunReport, write_chrome_trace, write_jsonl
 from .serve import FederationService, ServiceConfig
@@ -534,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(docs/STATIC_ANALYSIS.md)",
     )
     configure_lint_parser(lint)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="coverage-guided chaos fuzzing over fault plans "
+        "(docs/FUZZING.md)",
+    )
+    configure_fuzz_parser(fuzz)
 
     return parser
 

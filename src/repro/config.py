@@ -335,6 +335,77 @@ class FaultConfig:
             crash_points=crash_points,
         )
 
+    def to_json_dict(self) -> dict:
+        """Canonical JSON-friendly form (the fuzz-corpus wire format).
+
+        Every field is included, scalars stay scalars and the nested
+        tuples become lists-of-lists, so
+        ``FaultConfig.from_json_dict(cfg.to_json_dict()) == cfg`` holds
+        exactly and two equal configs serialise to identical documents
+        (dict key order is irrelevant: corpus digests are computed over
+        ``json.dumps(..., sort_keys=True)``).
+        """
+        return {
+            "enabled": self.enabled,
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "replay_rate": self.replay_rate,
+            "withhold_rate": self.withhold_rate,
+            "withhold_target": self.withhold_target,
+            "equivocate_rate": self.equivocate_rate,
+            "shard_flip_rate": self.shard_flip_rate,
+            "shard_flip_target": self.shard_flip_target,
+            "checkpoint_tamper": self.checkpoint_tamper,
+            "crash_points": [
+                [enclave_id, index] for enclave_id, index in self.crash_points
+            ],
+            "partition_windows": [
+                [node_id, start_round, blocked_ops]
+                for node_id, start_round, blocked_ops in self.partition_windows
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "FaultConfig":
+        """Rebuild a config serialised by :meth:`to_json_dict`.
+
+        Validation runs through ``__post_init__`` as usual, so a
+        hand-edited corpus entry that breaks an invariant fails with a
+        classified :class:`~repro.errors.ConfigError` instead of
+        constructing an impossible plan.
+        """
+        try:
+            return cls(
+                enabled=bool(doc["enabled"]),
+                seed=int(doc["seed"]),
+                drop_rate=float(doc["drop_rate"]),
+                duplicate_rate=float(doc["duplicate_rate"]),
+                delay_rate=float(doc["delay_rate"]),
+                corrupt_rate=float(doc["corrupt_rate"]),
+                replay_rate=float(doc["replay_rate"]),
+                withhold_rate=float(doc["withhold_rate"]),
+                withhold_target=str(doc["withhold_target"]),
+                equivocate_rate=float(doc["equivocate_rate"]),
+                shard_flip_rate=float(doc["shard_flip_rate"]),
+                shard_flip_target=str(doc["shard_flip_target"]),
+                checkpoint_tamper=str(doc["checkpoint_tamper"]),
+                crash_points=tuple(
+                    (str(enclave_id), int(index))
+                    for enclave_id, index in doc["crash_points"]
+                ),
+                partition_windows=tuple(
+                    (str(node_id), int(start_round), int(blocked_ops))
+                    for node_id, start_round, blocked_ops in doc[
+                        "partition_windows"
+                    ]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed FaultConfig document: {exc}")
+
 
 @dataclass(frozen=True)
 class ResilienceConfig:

@@ -105,6 +105,17 @@ class GenDPRProtocol:
             self._exchange = self._ocall_exchange
         self._integrity = federation.config.integrity.enabled
 
+    def shard_repair_accounting(self) -> Dict[str, int]:
+        """Tree-repair/retry counters of this run (empty when unsharded).
+
+        The same numbers ``record_shard`` bridges into ``shard.repair.*``
+        metrics for RunReports; exposed so the fuzz oracle can key
+        behaviours on repair activity without enabling span tracing.
+        """
+        if not self._federation.config.sharding.enabled:
+            return {}
+        return dict(self._shard_runtime, epoch=self._shard_epoch)
+
     def install_round_gate(self, gate) -> None:
         """Install a round gate: ``gate(kind)`` -> context manager.
 

@@ -315,12 +315,16 @@ class ResilientExchange:
                         network.send(reply)
                 if reply is None:
                     return elapsed
+                # Pump unconditionally: draining an already-routed
+                # inbox is a no-op, and gating the pump on has_reply()
+                # made this branch depend on whether a sibling worker
+                # pumped first — a schedule-dependent path that
+                # coverage-keyed replay (repro.fuzz) must not see.
+                self._router.pump()
                 if not self._router.has_reply(member_id):
-                    self._router.pump()
-                    if not self._router.has_reply(member_id):
-                        raise NetworkError(
-                            f"reply from {member_id!r} did not arrive"
-                        )
+                    raise NetworkError(
+                        f"reply from {member_id!r} did not arrive"
+                    )
                 return elapsed
             except EnclaveCrashedError as exc:
                 # The *member's* enclave died mid-handling (a leader

@@ -288,3 +288,24 @@ class StudyCancelledError(ServiceError):
 
 class UnknownStudyError(ServiceError):
     """A service request referenced a study id it never accepted."""
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing (repro.fuzz)
+# ---------------------------------------------------------------------------
+
+
+class FuzzError(ReproError):
+    """Base class for failures of the chaos fuzzer (:mod:`repro.fuzz`)."""
+
+
+class CorpusInvariantError(FuzzError):
+    """The coverage-keyed corpus pool broke an internal invariant.
+
+    Raised by the pool's hypofuzz-style ``_check_invariants`` pass
+    after every mutation: a behaviour unit pointing at an evicted
+    genome, a stored genome covering nothing, or a unit credited to a
+    genome whose recorded behaviour never produced it.  Any of these
+    means corpus deduplication can silently lose coverage, so the
+    fuzzer fails closed instead.
+    """

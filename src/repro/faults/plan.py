@@ -21,6 +21,8 @@ to a distributed protocol.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -209,6 +211,69 @@ class FaultPlan:
         """
         draw = self._draw("shardflip", kind, shard, attempt)
         return draw < int(self.shard_flip_rate * _DRAW_RESOLUTION)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Canonical JSON document for this plan (the corpus format).
+
+        Since a plan is a pure function of its parameters, the document
+        captures the plan *completely*: ``from_json(plan.to_json())``
+        draws bit-identical faults at every coordinate.
+        """
+        return self.describe()
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        """Rebuild a plan serialised by :meth:`to_json`."""
+        try:
+            return cls(
+                seed=int(doc["seed"]),
+                drop_rate=float(doc["drop_rate"]),
+                duplicate_rate=float(doc["duplicate_rate"]),
+                delay_rate=float(doc["delay_rate"]),
+                corrupt_rate=float(doc["corrupt_rate"]),
+                replay_rate=float(doc["replay_rate"]),
+                withhold_rate=float(doc["withhold_rate"]),
+                withhold_target=str(doc["withhold_target"]),
+                equivocate_rate=float(doc["equivocate_rate"]),
+                shard_flip_rate=float(doc["shard_flip_rate"]),
+                shard_flip_target=str(doc["shard_flip_target"]),
+                checkpoint_tamper=str(doc["checkpoint_tamper"]),
+                crash_points=tuple(
+                    CrashPoint(str(p["enclave_id"]), int(p["ecall_index"]))
+                    for p in doc["crash_points"]
+                ),
+                partition_windows=tuple(
+                    PartitionWindow(
+                        str(w["node_id"]),
+                        int(w["start_round"]),
+                        int(w["blocked_ops"]),
+                    )
+                    for w in doc["partition_windows"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed FaultPlan document: {exc}")
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the plan's corpus identity.
+
+        Chaos-report records carry this digest so a fuzz-discovered
+        seed is traceable from a CI artifact back to its corpus entry.
+        """
+        canonical = json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.describe() == other.describe()
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
 
     def describe(self) -> dict:
         """Plan parameters as a JSON-friendly document (for reports)."""

@@ -1,0 +1,166 @@
+"""``repro fuzz`` — CLI front-end of the coverage-guided chaos fuzzer.
+
+This is the subsystem's only module that touches files or a terminal:
+it loads the committed corpus, drives one :class:`FuzzEngine` session
+within a time and/or iteration budget, then writes the refreshed
+corpus and the JSON report.  Exit codes: ``0`` for a clean session,
+``1`` for invariant violations (each reported as a shrunk minimal
+reproducer) or usage errors, matching the rest of the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ConfigError
+from .corpus import CorpusPool
+from .engine import FuzzEngine
+from .oracle import DecisionOracle
+
+
+def parse_budget(raw: str) -> float:
+    """Parse a wall-clock budget: ``90``, ``90s`` or ``2m``."""
+    text = raw.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ConfigError(f"unparseable fuzz budget {raw!r}")
+    if seconds <= 0:
+        raise ConfigError("fuzz budget must be positive")
+    return seconds
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro fuzz`` arguments to a subcommand parser."""
+    parser.add_argument(
+        "--budget",
+        help="wall-clock budget, e.g. 90s or 2m",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        help="iteration budget (deterministic; combinable with --budget)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="engine seed: drives every mutation draw (default: 0)",
+    )
+    parser.add_argument(
+        "--corpus-in",
+        help="committed corpus JSON to seed from (replayed, not trusted)",
+    )
+    parser.add_argument(
+        "--corpus-out",
+        help="write the session's deduplicated corpus here",
+    )
+    parser.add_argument(
+        "--report",
+        help="write the session's JSON report here",
+    )
+    parser.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="replay the 42 legacy sweep seeds first and include the "
+        "behaviour-key comparison in the report",
+    )
+    parser.add_argument(
+        "--no-coverage",
+        action="store_true",
+        help="disable arc coverage (counters-only behaviour keys)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-discovery progress lines",
+    )
+    parser.set_defaults(func=run_from_args)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.budget is None and args.iterations is None:
+        print(
+            "error: give --budget and/or --iterations", file=sys.stderr
+        )
+        return 1
+    budget = parse_budget(args.budget) if args.budget else None
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"[fuzz] {message}", file=sys.stderr)
+
+    engine = FuzzEngine(
+        seed=args.seed,
+        oracle=DecisionOracle(),
+        coverage=not args.no_coverage,
+        progress=progress,
+    )
+
+    if args.corpus_in:
+        doc = json.loads(Path(args.corpus_in).read_text(encoding="utf-8"))
+        seeded = engine.seed_corpus(CorpusPool.entries_from_json(doc))
+        progress(
+            f"seeded {seeded['entries']} corpus entries "
+            f"({seeded['counter_mismatches']} counter mismatches)"
+        )
+    if args.compare_legacy:
+        engine.replay_legacy()
+
+    outcome = engine.run(budget_seconds=budget, max_iterations=args.iterations)
+    progress(
+        f"fuzzed {outcome['iterations']} iterations in "
+        f"{outcome['elapsed_seconds']}s"
+    )
+
+    report = engine.report()
+    if args.report:
+        _write_json(Path(args.report), report)
+    if args.corpus_out:
+        _write_json(Path(args.corpus_out), engine.pool.to_json_dict())
+
+    coverage = report["coverage"]
+    print(
+        f"behaviour keys: {coverage['behaviour_keys']}  "
+        f"corpus genomes: {coverage['corpus_genomes']}  "
+        f"violations: {len(report['violations'])}"
+    )
+    comparison = report.get("legacy_comparison")
+    if comparison:
+        print(
+            f"legacy comparison: fuzz {comparison['fuzz_keys']} keys vs "
+            f"legacy {comparison['legacy_keys']} keys "
+            f"(strictly more: {comparison['strictly_more']})"
+        )
+    for violation in report["violations"]:
+        shrunk = violation["shrunk"]
+        print(
+            f"VIOLATION {violation['violation']}: reproducer "
+            f"{shrunk['digest'][:12]} with "
+            f"{len(shrunk['active_faults'])} active faults",
+            file=sys.stderr,
+        )
+    return 1 if report["violations"] else 0
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-fuzz")
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,238 @@
+"""Branch (arc) coverage of the fault/integrity/supervisor layers.
+
+The fuzzer's notion of "behaviour" is two-layered: the set of
+``faults.*`` / ``integrity.*`` / ``shard.repair.*`` counters a run
+fires (bridged from :mod:`repro.obs`), unioned with the *arc coverage*
+of the detection-path modules — :mod:`repro.faults`,
+:mod:`repro.core.integrity`, :mod:`repro.core.supervisor` and
+:mod:`repro.core.resilience`.  Counters say *which* defences fired;
+arcs say *which way* the code got there, which is what distinguishes
+two plans that both end in, say, ``equivocations_detected``.
+
+:class:`CoverageCollector` records executed line-to-line arcs inside
+the target modules only.  On CPython >= 3.12 it rides
+``sys.monitoring`` (per-location events are disabled for non-target
+code after the first hit, so the steady-state cost outside the targets
+is near zero); earlier interpreters fall back to ``sys.settrace`` +
+``threading.settrace`` with frames outside the targets declining local
+tracing.  Disabled collectors install nothing at all — the zero-cost
+off switch the production paths rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..errors import ConfigError
+
+#: Modules whose detection paths are explicit coverage targets.
+DEFAULT_TARGET_MODULES: Tuple[str, ...] = (
+    "repro.faults.plan",
+    "repro.faults.injector",
+    "repro.core.integrity",
+    "repro.core.supervisor",
+    "repro.core.resilience",
+)
+
+#: An executed arc: (module, previous line, line).  The synthetic
+#: previous line ``-first_lineno`` marks function entry.
+Arc = Tuple[str, int, int]
+
+_MONITORING = getattr(sys, "monitoring", None)
+
+
+def _resolve_targets(modules: Iterable[str]) -> Dict[str, str]:
+    """Map target module names to their source filenames."""
+    import importlib
+
+    files: Dict[str, str] = {}
+    for name in modules:
+        module = importlib.import_module(name)
+        filename = getattr(module, "__file__", None)
+        if not filename:
+            raise ConfigError(f"coverage target {name!r} has no source file")
+        files[filename] = name
+    return files
+
+
+class CoverageCollector:
+    """Collects executed arcs of the target modules while entered.
+
+    Usage::
+
+        collector = CoverageCollector()
+        with collector:
+            run_the_plan()
+        arcs = collector.arcs()
+
+    One collector instance is reused across a whole fuzz session:
+    ``reset()`` clears the arc set between plan executions while the
+    (comparatively expensive) target resolution happens once.  A
+    collector constructed with ``enabled=False`` installs no hooks and
+    collects nothing, so the replay paths that do not need coverage
+    pay nothing.
+    """
+
+    def __init__(
+        self,
+        modules: Iterable[str] = DEFAULT_TARGET_MODULES,
+        *,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self._files = _resolve_targets(modules) if enabled else {}
+        self._arcs: Set[Arc] = set()
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._tool_id: Optional[int] = None
+        #: sys.monitoring path: (thread id, code object) -> last line seen.
+        self._last_line: Dict[Tuple[int, object], int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "CoverageCollector":
+        if not self.enabled:
+            return self
+        self._depth += 1
+        if self._depth > 1:
+            return self
+        if _MONITORING is not None:
+            self._install_monitoring()
+        else:
+            self._install_settrace()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.enabled:
+            return
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        if _MONITORING is not None:
+            self._uninstall_monitoring()
+        else:
+            sys.settrace(None)
+            threading.settrace(None)  # type: ignore[arg-type]
+
+    def reset(self) -> None:
+        """Clear collected arcs (between plan executions)."""
+        with self._lock:
+            self._arcs.clear()
+            self._last_line.clear()
+
+    def arcs(self) -> FrozenSet[Arc]:
+        with self._lock:
+            return frozenset(self._arcs)
+
+    # -- sys.settrace path (CPython < 3.12) -----------------------------------
+
+    def _install_settrace(self) -> None:
+        sys.settrace(self._global_trace)
+        threading.settrace(self._global_trace)
+
+    def _global_trace(self, frame, event, arg):
+        code = frame.f_code
+        module = self._files.get(code.co_filename)
+        if module is None:
+            # Decline local tracing for this frame entirely.
+            return None
+        prev = [-code.co_firstlineno]
+
+        def _local_trace(frame, event, arg):
+            if event == "line":
+                arc = (module, prev[0], frame.f_lineno)
+                prev[0] = frame.f_lineno
+                with self._lock:
+                    self._arcs.add(arc)
+            return _local_trace
+
+        return _local_trace
+
+    # -- sys.monitoring path (CPython >= 3.12) --------------------------------
+
+    def _acquire_tool_id(self) -> int:
+        for tool_id in range(6):
+            if _MONITORING.get_tool(tool_id) is None:
+                _MONITORING.use_tool_id(tool_id, "repro.fuzz")
+                return tool_id
+        raise ConfigError("no free sys.monitoring tool id for coverage")
+
+    def _install_monitoring(self) -> None:
+        tool_id = self._acquire_tool_id()
+        self._tool_id = tool_id
+        _MONITORING.register_callback(
+            tool_id, _MONITORING.events.LINE, self._on_line
+        )
+        _MONITORING.set_events(tool_id, _MONITORING.events.LINE)
+
+    def _uninstall_monitoring(self) -> None:
+        if self._tool_id is None:
+            return
+        _MONITORING.set_events(self._tool_id, 0)
+        _MONITORING.register_callback(
+            self._tool_id, _MONITORING.events.LINE, None
+        )
+        _MONITORING.free_tool_id(self._tool_id)
+        self._tool_id = None
+
+    def _on_line(self, code, line_number: int):
+        module = self._files.get(code.co_filename)
+        if module is None:
+            # Never come back for this location.
+            return _MONITORING.DISABLE
+        key = (threading.get_ident(), code)
+        with self._lock:
+            prev = self._last_line.get(key, -code.co_firstlineno)
+            self._arcs.add((module, prev, line_number))
+            self._last_line[key] = line_number
+        return None
+
+
+@dataclass(frozen=True)
+class Behaviour:
+    """What one executed plan did: fired counters plus covered arcs."""
+
+    counters: FrozenSet[str] = field(default_factory=frozenset)
+    arcs: FrozenSet[Arc] = field(default_factory=frozenset)
+
+    def arc_hash(self) -> str:
+        """Order-independent digest of the covered arc set."""
+        canonical = ";".join(
+            f"{module}:{prev}:{line}"
+            for module, prev, line in sorted(self.arcs)
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def key(self) -> str:
+        """The behaviour key the corpus deduplicates on.
+
+        Counter set crossed with the arc-set digest: two plans collide
+        only when they fire the same defences *and* walk the same
+        branches of the detection modules.
+        """
+        counter_sig = ",".join(sorted(self.counters))
+        return f"{counter_sig}#{self.arc_hash()[:16]}"
+
+    def units(self) -> FrozenSet[str]:
+        """The individual coverage units this behaviour contributes.
+
+        Each fired counter and each covered arc is one unit; the corpus
+        keeps the minimal genome covering each unit (hypofuzz keeps the
+        minimal covering example per branch the same way).
+        """
+        arc_units = {
+            f"arc:{module}:{prev}:{line}"
+            for module, prev, line in self.arcs
+        }
+        return frozenset(self.counters) | arc_units
+
+    def to_json_dict(self) -> dict:
+        return {
+            "counters": sorted(self.counters),
+            "arc_hash": self.arc_hash(),
+            "arc_count": len(self.arcs),
+        }

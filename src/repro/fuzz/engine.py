@@ -1,0 +1,257 @@
+"""The fuzz session: mutate, execute, judge, pool, shrink, report.
+
+:class:`FuzzEngine` ties the subsystem together.  One session seeds
+its corpus (from the committed artifact and/or the 42 legacy sweep
+seeds), then loops within a wall-clock or iteration budget: pick a
+base genome from the pool round-robin (simplest first), apply one
+typed mutation, execute it under the decision oracle with arc coverage
+on, and fold the observed behaviour back into the pool.  Any run that
+breaks the decision invariant is immediately reduced by the shrinker
+and recorded as a violation — the session's real product is either
+"no violations, here is the enlarged coverage frontier" or a minimal
+reproducer a human can read.
+
+The engine is deliberately free of I/O: it takes decoded corpus
+entries and returns report dictionaries, and the CLI (the only place
+allowed to touch files) does the reading and writing.  Timekeeping
+uses the monotonic metering clock only, and every random choice lives
+inside the mutator's seeded stream — a session is replayable from
+``(engine seed, corpus-in, budget in iterations)`` alone.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .corpus import CorpusPool
+from .coverage import Behaviour, CoverageCollector
+from .genome import PlanGenome, genome_config
+from .mutator import PlanMutator
+from .oracle import DecisionOracle, OracleRun
+from .seeds import legacy_genomes
+from .shrink import Shrinker
+
+#: Default cap on shrinker predicate evaluations per violation.
+DEFAULT_SHRINK_RUNS = 120
+
+
+class FuzzEngine:
+    """One coverage-guided fuzz session over plan genomes."""
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        oracle: Optional[DecisionOracle] = None,
+        coverage: bool = True,
+        shrink_runs: int = DEFAULT_SHRINK_RUNS,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.seed = seed
+        self.oracle = oracle if oracle is not None else DecisionOracle()
+        self.pool = CorpusPool()
+        self.mutator = PlanMutator(
+            seed=seed,
+            members=self.oracle.member_ids,
+            leader=self.oracle.leader_id,
+        )
+        self.collector = CoverageCollector(enabled=coverage)
+        self.shrink_runs = shrink_runs
+        self.violations: List[Dict[str, object]] = []
+        self._violation_digests: set = set()
+        self._legacy_keys: set = set()
+        self._legacy_seed_count = 0
+        self._seeded_entries = 0
+        self._seeded_mismatches = 0
+        self._iterations = 0
+        self._elapsed = 0.0
+        self._base_index = 0
+        self._progress = progress
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, genome: PlanGenome) -> Tuple[OracleRun, Behaviour]:
+        return self.oracle.execute_genome(genome, collector=self.collector)
+
+    def _emit(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    # -- seeding --------------------------------------------------------------
+
+    def seed_corpus(
+        self, entries: Sequence[Tuple[PlanGenome, dict]]
+    ) -> Dict[str, int]:
+        """Replay committed corpus entries to re-establish their units.
+
+        Arc units are interpreter-dependent, so each genome is executed
+        afresh and pooled under the behaviour observed *now*.  The
+        committed counter list is checked against the replay — a
+        mismatch means a genome no longer reproduces its recorded
+        defences, which the report surfaces (and the determinism test
+        fails on).
+        """
+        mismatches = 0
+        for genome, summary in entries:
+            run, behaviour = self._execute(genome)
+            self.pool.add(genome, behaviour)
+            expected = summary.get("counters")
+            if expected is not None and sorted(behaviour.counters) != list(
+                expected
+            ):
+                mismatches += 1
+            if run.violation is not None:
+                self._record_violation(genome, run)
+        self._seeded_entries += len(entries)
+        self._seeded_mismatches += mismatches
+        return {"entries": len(entries), "counter_mismatches": mismatches}
+
+    def replay_legacy(self) -> Dict[str, int]:
+        """Replay the 42 legacy sweep seeds; anchor the key comparison.
+
+        The legacy behaviour keys are tracked separately from the
+        pool's: the report's central claim is that the fuzz session's
+        frontier strictly contains more distinct keys than this fixed
+        sweep reaches.  The legacy genomes also seed the pool — they
+        are known-good starting points for mutation.
+        """
+        genomes = legacy_genomes(
+            members=self.oracle.member_ids, leader=self.oracle.leader_id
+        )
+        for genome in genomes:
+            run, behaviour = self._execute(genome)
+            self._legacy_keys.add(behaviour.key())
+            self.pool.add(genome, behaviour)
+            if run.violation is not None:
+                self._record_violation(genome, run)
+        self._legacy_seed_count = len(genomes)
+        self._emit(
+            f"legacy replay: {len(genomes)} seeds -> "
+            f"{len(self._legacy_keys)} behaviour keys"
+        )
+        return {"seeds": len(genomes), "keys": len(self._legacy_keys)}
+
+    # -- the fuzz loop --------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        budget_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Fuzz within a time and/or iteration budget.
+
+        At least one budget must be given.  Iteration-budgeted runs are
+        fully deterministic (same seed, same seeding -> same genome
+        sequence); time-budgeted runs execute a deterministic *prefix*
+        of that sequence.
+        """
+        if budget_seconds is None and max_iterations is None:
+            raise ConfigError("give budget_seconds and/or max_iterations")
+        start = time.perf_counter()
+        ran = 0
+        while True:
+            if (
+                budget_seconds is not None
+                and time.perf_counter() - start >= budget_seconds
+            ):
+                break
+            if max_iterations is not None and ran >= max_iterations:
+                break
+            bases = self.pool.genomes()
+            if bases:
+                base = bases[self._base_index % len(bases)]
+                self._base_index += 1
+            else:
+                base = PlanGenome()
+            mutated = self.mutator.mutate(base, pool=bases)
+            run, behaviour = self._execute(mutated)
+            novel = self.pool.add(mutated, behaviour)
+            if run.violation is not None:
+                self._record_violation(mutated, run)
+            self._iterations += 1
+            ran += 1
+            if novel:
+                self._emit(
+                    f"iteration {self._iterations}: new behaviour "
+                    f"({len(self.pool.behaviour_keys())} keys, "
+                    f"{len(self.pool)} corpus genomes)"
+                )
+        elapsed = time.perf_counter() - start
+        self._elapsed += elapsed
+        return {"iterations": ran, "elapsed_seconds": round(elapsed, 3)}
+
+    # -- violations -----------------------------------------------------------
+
+    def _violates(self, genome: PlanGenome) -> bool:
+        config = genome_config(
+            genome,
+            snp_count=self.oracle.snp_count,
+            study_id=self.oracle.study_id,
+            study_seed=self.oracle.study_seed,
+        )
+        return self.oracle.execute(config).violation is not None
+
+    def _record_violation(self, genome: PlanGenome, run: OracleRun) -> None:
+        shrinker = Shrinker(
+            self._violates,
+            members=self.oracle.member_ids,
+            max_runs=self.shrink_runs,
+        )
+        result = shrinker.shrink(genome)
+        digest = result.genome.digest()
+        if digest in self._violation_digests:
+            return
+        self._violation_digests.add(digest)
+        self.violations.append(
+            {
+                "violation": run.violation,
+                "error": run.error,
+                "error_message": run.error_message,
+                "genome": genome.to_json_dict(),
+                "genome_digest": genome.digest(),
+                "shrunk": {
+                    "genome": result.genome.to_json_dict(),
+                    "digest": digest,
+                    "active_faults": list(result.genome.active_faults()),
+                    "shrink_runs_used": result.runs_used,
+                },
+            }
+        )
+        self._emit(
+            f"VIOLATION {run.violation}: shrunk to "
+            f"{len(result.genome.active_faults())} active faults"
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """The session's JSON report (coverage frontier + verdict)."""
+        fuzz_keys = self.pool.behaviour_keys()
+        doc: Dict[str, object] = {
+            "engine_seed": self.seed,
+            "iterations": self._iterations,
+            "elapsed_seconds": round(self._elapsed, 3),
+            "coverage_enabled": self.collector.enabled,
+            "coverage": {
+                "behaviour_keys": len(fuzz_keys),
+                "counter_units": sorted(self.pool.counter_units()),
+                "arc_units": len(self.pool.arc_units()),
+                "corpus_genomes": len(self.pool),
+            },
+            "seeded": {
+                "corpus_entries": self._seeded_entries,
+                "counter_mismatches": self._seeded_mismatches,
+            },
+            "violations": list(self.violations),
+        }
+        if self._legacy_seed_count:
+            doc["legacy_comparison"] = {
+                "legacy_seeds": self._legacy_seed_count,
+                "legacy_keys": len(self._legacy_keys),
+                "fuzz_keys": len(fuzz_keys),
+                "strictly_more": len(fuzz_keys) > len(self._legacy_keys),
+            }
+        return doc

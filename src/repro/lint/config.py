@@ -47,6 +47,21 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "serve": ("repro.serve",),
     "faults": ("repro.faults",),
     "obs": ("repro.obs",),
+    # Fuzz subsystem: the whole package is patrolled for determinism
+    # and error taxonomy; the purity rule patrols the I/O-free core
+    # scope, which excludes repro.fuzz.cli — the subsystem's only
+    # module allowed to touch files or a terminal.
+    "fuzz": ("repro.fuzz",),
+    "fuzz-core": (
+        "repro.fuzz.genome",
+        "repro.fuzz.mutator",
+        "repro.fuzz.coverage",
+        "repro.fuzz.corpus",
+        "repro.fuzz.oracle",
+        "repro.fuzz.engine",
+        "repro.fuzz.shrink",
+        "repro.fuzz.seeds",
+    ),
 }
 
 DEFAULT_BASELINE = "lint-baseline.json"

@@ -148,7 +148,12 @@ class FunctionIndex:
 #: ``path.open(...)`` to ``ChannelEndpoint.open`` just because only one
 #: program class defines ``open`` would fabricate edges through stdlib
 #: objects.  Distinctive names (``column_sums``, ``lead_run_maf``) stay
-#: eligible.
+#: eligible.  ``digest``/``hexdigest``/``to_json``/``from_json`` are
+#: here because hashlib/hmac objects and serialisation protocols use
+#: them pervasively: resolving ``hashlib.sha256(x).digest()`` to
+#: whichever program class happens to uniquely define ``digest``
+#: fabricates an edge whose summary silently replaces the hash call's
+#: real dataflow.
 GENERIC_METHOD_NAMES = frozenset(
     {
         "open", "close", "read", "write", "send", "recv", "get", "set",
@@ -157,6 +162,7 @@ GENERIC_METHOD_NAMES = frozenset(
         "encode", "decode", "seek", "flush", "run", "start", "stop",
         "reset", "join", "split", "strip", "format", "sort", "count",
         "index", "next", "submit", "result", "wait", "notify", "apply",
+        "digest", "hexdigest", "to_json", "from_json",
     }
 )
 

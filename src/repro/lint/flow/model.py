@@ -74,6 +74,12 @@ DEFAULT_SANCTIONED: Tuple[str, ...] = (
     "repro.crypto.authenticated.StreamAead.encrypt",
     "repro.crypto.authenticated.AesCtrHmacAead.encrypt",
     "repro.crypto.authenticated._EncryptThenMac.encrypt",
+    # An HMAC-SHA256 tag is publishable by design (that is its whole
+    # job: it travels over the untrusted wire next to the message), so
+    # the key taint of the signer does not survive into the tag — same
+    # status as the AEAD encrypt outputs above, which embed their MACs.
+    "repro.crypto.signing.MacSigner.sign",
+    "repro.crypto.signing.MacSigner._mac",
 )
 
 #: Default leak sinks: a tainted argument reaching one of these calls is

@@ -84,7 +84,14 @@ class DeterminismRule(Rule):
         "sequential/parallel and fault-free/faulted runs must decide "
         "bit-identically: no set-order, id() or wall-clock dependence"
     )
-    default_scopes = ("protocol", "stats", "enclave", "serve", "faults")
+    default_scopes = (
+        "protocol",
+        "stats",
+        "enclave",
+        "serve",
+        "faults",
+        "fuzz",
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Finding]:
         wall_clock = self.option_tuple("wall_clock_calls", WALL_CLOCK_CALLS)

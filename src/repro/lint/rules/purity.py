@@ -75,7 +75,7 @@ class EnclavePurityRule(Rule):
         "attested enclave code must be replayable and side-effect free: "
         "no ambient clocks, OS entropy, files, sockets or stdout"
     )
-    default_scopes = ("enclave", "serve")
+    default_scopes = ("enclave", "serve", "fuzz-core")
 
     def check(self, module: ModuleInfo) -> Iterable[Finding]:
         allow = self.option_tuple("allow", DEFAULT_ALLOW)

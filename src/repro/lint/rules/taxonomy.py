@@ -74,7 +74,15 @@ class ErrorTaxonomyRule(Rule):
         "supervisor failure classification is total only if every "
         "protocol/net/TEE raise is a repro.errors subclass"
     )
-    default_scopes = ("protocol", "net", "tee", "serve", "faults", "obs")
+    default_scopes = (
+        "protocol",
+        "net",
+        "tee",
+        "serve",
+        "faults",
+        "obs",
+        "fuzz",
+    )
 
     def check(self, module: ModuleInfo) -> Iterable[Finding]:
         allow_names: Tuple[str, ...] = self.option_tuple("allow", ())

@@ -5,11 +5,19 @@ Every run of the sweep must either complete with release decisions
 collusion) cell, or abort with a *classified* :class:`ReproError`
 subclass — never hang, never return a divergent answer.
 
+The invariant itself lives in :mod:`repro.fuzz.oracle` — the same
+harness the fuzzer (``repro fuzz``) and the Byzantine tier execute —
+and the seeded plans live in :mod:`repro.fuzz.seeds`, so this module
+is a *replayer*: it sweeps the 24 legacy crash-style genomes (plus a
+sharded subset) and asserts the oracle saw no violation.
+
 Set ``CHAOS_REPORT_PATH`` to write a machine-readable JSON report of
-every sweep run (fault plans, injected-event counters, outcomes); the
-CI ``chaos`` job uploads it as an artifact.  Any failure reproduces
-locally from its seed alone: the plan is a pure function of the
-config (see ``docs/RESILIENCE.md``).
+every sweep run (fault plans + digests, injected-event counters,
+outcomes); the CI ``chaos`` job uploads it as an artifact.  Records
+are keyed by sweep cell, so re-running a test within one session
+replaces its record instead of appending a duplicate.  Any failure
+reproduces locally from its seed alone: the plan is a pure function
+of the config (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
@@ -20,31 +28,23 @@ import os
 
 import pytest
 
-from repro import StudyConfig, generate_cohort, partition_cohort
-from repro.config import (
-    CollusionPolicy,
-    ExecutionConfig,
-    FaultConfig,
-    ResilienceConfig,
-    ShardingConfig,
+from repro import generate_cohort
+from repro.fuzz.genome import genome_config
+from repro.fuzz.oracle import DecisionOracle
+from repro.fuzz.seeds import (
+    CHAOS_CRASH_SEEDS,
+    CHAOS_PARTITION_SEEDS,
+    CHAOS_SEEDS,
+    chaos_seed_genome,
+    seed_f,
+    seed_mode,
 )
-from repro.core.federation import build_federation
-from repro.core.leader import elect_leader
-from repro.core.protocol import GenDPRProtocol
-from repro.errors import ReproError
 from repro.genomics import SyntheticSpec
 
 MEMBERS = 3
 STUDY_ID = "chaos-sweep"
 STUDY_SEED = 5
 
-#: The sweep: 24 seeded plans.  Mode and collusion derive from the seed
-#: so the grid covers {sequential, parallel} × {f=0, f=1} evenly.
-CHAOS_SEEDS = list(range(1, 25))
-#: Seeds whose plan additionally crashes the leader mid-study.
-CRASH_SEEDS = {s for s in CHAOS_SEEDS if s % 5 == 0}
-#: Seeds whose plan additionally opens a short partition window.
-PARTITION_SEEDS = {s for s in CHAOS_SEEDS if s % 7 == 0}
 #: Subset of the sweep re-run sharded (per shard count in SHARD_AXIS):
 #: the same seeded plans, now also stressing tree rounds and repair.
 #: Hand-picked to cover both modes, both collusion settings, a leader
@@ -52,87 +52,55 @@ PARTITION_SEEDS = {s for s in CHAOS_SEEDS if s % 7 == 0}
 SHARDED_SEEDS = [1, 2, 7, 10, 15, 20]
 SHARD_AXIS = (2, 4)
 
-_collected_runs = []
-
-
-def _mode(seed: int) -> str:
-    return "parallel" if seed % 2 else "sequential"
-
-
-def _f(seed: int) -> int:
-    return 1 if seed % 4 >= 2 else 0
-
-
-def _leader_id() -> str:
-    return elect_leader(
-        [f"gdo-{i}" for i in range(MEMBERS)], STUDY_SEED, STUDY_ID
-    )
-
-
-def _fault_config(seed: int) -> FaultConfig:
-    chaos = FaultConfig.chaos(seed, intensity=0.15)
-    crash_points = ((_leader_id(), 4),) if seed in CRASH_SEEDS else ()
-    member = next(
-        m for m in (f"gdo-{i}" for i in range(MEMBERS)) if m != _leader_id()
-    )
-    partition_windows = (
-        ((member, 1 + seed % 6, 2),) if seed in PARTITION_SEEDS else ()
-    )
-    return dataclasses.replace(
-        chaos, crash_points=crash_points, partition_windows=partition_windows
-    )
+#: Chaos-report records keyed by (seed, shards): re-execution within
+#: one session *replaces* the cell's record, so the report never
+#: accumulates duplicates.
+_collected_runs = {}
 
 
 @pytest.fixture(scope="module")
-def chaos_cohort():
+def oracle():
     cohort, _ = generate_cohort(
         SyntheticSpec(num_snps=80, num_case=120, num_control=100, seed=5)
     )
-    return cohort
-
-
-def _base_config(seed: int) -> StudyConfig:
-    return StudyConfig(
-        snp_count=80,
+    return DecisionOracle(
+        cohort=cohort,
+        members=MEMBERS,
         study_id=STUDY_ID,
-        seed=STUDY_SEED,
-        execution=ExecutionConfig(mode=_mode(seed)),
-        collusion=(
-            CollusionPolicy.static(_f(seed))
-            if _f(seed)
-            else CollusionPolicy.none()
-        ),
+        study_seed=STUDY_SEED,
     )
 
 
-@pytest.fixture(scope="module")
-def references(chaos_cohort):
-    """Fault-free reference outcomes per (mode, f) cell.
+def _genome(oracle, seed, shards=1):
+    genome = chaos_seed_genome(
+        seed, members=oracle.member_ids, leader=oracle.leader_id
+    )
+    return dataclasses.replace(genome, shards=shards)
 
-    Computed with resilience *disabled* — so the sweep simultaneously
-    validates that the resilient path (faulted or not) changes nothing.
-    """
-    refs = {}
-    for mode in ("sequential", "parallel"):
-        for f in (0, 1):
-            config = dataclasses.replace(
-                StudyConfig(
-                    snp_count=80,
-                    study_id=STUDY_ID,
-                    seed=STUDY_SEED,
-                    execution=ExecutionConfig(mode=mode),
-                    collusion=(
-                        CollusionPolicy.static(f)
-                        if f
-                        else CollusionPolicy.none()
-                    ),
-                )
-            )
-            federation = build_federation(
-                config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-            )
-            refs[(mode, f)] = GenDPRProtocol(federation).run()
-    return refs
+
+def _execute(oracle, seed, shards=1):
+    # max_attempts/max_failovers pin the tier's historical supervision
+    # budget (the ResilienceConfig.supervised() defaults).
+    config = genome_config(
+        _genome(oracle, seed, shards),
+        snp_count=80,
+        study_id=STUDY_ID,
+        study_seed=STUDY_SEED,
+        max_attempts=4,
+        max_failovers=2,
+    )
+    return oracle.execute(config)
+
+
+def _collect(run, seed, shards=1, **extra):
+    _collected_runs[(seed, shards)] = run.record(
+        seed=seed,
+        shards=shards,
+        mode=seed_mode(seed),
+        f=seed_f(seed),
+        failovers=run.failovers,
+        **extra,
+    )
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -142,15 +110,16 @@ def chaos_report():
     path = os.environ.get("CHAOS_REPORT_PATH")
     if not path or not _collected_runs:
         return
-    completed = sum(1 for r in _collected_runs if r["outcome"] == "completed")
+    runs = [_collected_runs[key] for key in sorted(_collected_runs)]
+    completed = sum(1 for r in runs if r["outcome"] == "completed")
     payload = {
         "study_id": STUDY_ID,
         "members": MEMBERS,
-        "runs": list(_collected_runs),
+        "runs": runs,
         "summary": {
-            "total": len(_collected_runs),
+            "total": len(runs),
             "completed_identical": completed,
-            "classified_aborts": len(_collected_runs) - completed,
+            "classified_aborts": len(runs) - completed,
         },
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -159,43 +128,10 @@ def chaos_report():
 
 
 @pytest.mark.parametrize("seed", CHAOS_SEEDS)
-def test_chaos_run_is_identical_or_classified(seed, chaos_cohort, references):
-    faults = _fault_config(seed)
-    config = dataclasses.replace(
-        _base_config(seed),
-        faults=faults,
-        resilience=ResilienceConfig.supervised(),
-    )
-    reference = references[(_mode(seed), _f(seed))]
-    federation = build_federation(
-        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-    )
-    record = {
-        "seed": seed,
-        "mode": _mode(seed),
-        "f": _f(seed),
-        "plan": federation.fault_injector.plan.describe(),
-    }
-    try:
-        result = GenDPRProtocol(federation).run()
-    except ReproError as exc:
-        record["outcome"] = "classified_abort"
-        record["error"] = type(exc).__name__
-    else:
-        assert result.l_prime == reference.l_prime
-        assert result.l_double_prime == reference.l_double_prime
-        assert result.l_safe == reference.l_safe
-        if reference.collusion is not None:
-            assert result.collusion is not None
-            assert (
-                result.collusion.baseline_safe
-                == reference.collusion.baseline_safe
-            )
-        record["outcome"] = "completed"
-        record["failovers"] = federation.failovers
-    finally:
-        record["injected"] = federation.fault_injector.counters()
-        _collected_runs.append(record)
+def test_chaos_run_is_identical_or_classified(seed, oracle):
+    run = _execute(oracle, seed)
+    _collect(run, seed)
+    assert run.violation is None, run.violation
 
 
 _sharded_decisions = {}
@@ -203,9 +139,7 @@ _sharded_decisions = {}
 
 @pytest.mark.parametrize("shards", SHARD_AXIS)
 @pytest.mark.parametrize("seed", SHARDED_SEEDS)
-def test_sharded_chaos_run_is_identical_or_classified(
-    seed, shards, chaos_cohort, references
-):
+def test_sharded_chaos_run_is_identical_or_classified(seed, shards, oracle):
     """The chaos invariant survives composition with sharding.
 
     The same seeded plans, re-run with SNP-range sharding at each
@@ -215,44 +149,16 @@ def test_sharded_chaos_run_is_identical_or_classified(
     the *unsharded* fault-free reference, which also pins decision
     identity across shard counts.
     """
-    faults = _fault_config(seed)
-    config = dataclasses.replace(
-        _base_config(seed),
-        faults=faults,
-        sharding=ShardingConfig.over(shards),
-        resilience=ResilienceConfig.supervised(),
-    )
-    reference = references[(_mode(seed), _f(seed))]
-    federation = build_federation(
-        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-    )
-    record = {
-        "seed": seed,
-        "shards": shards,
-        "mode": _mode(seed),
-        "f": _f(seed),
-        "plan": federation.fault_injector.plan.describe(),
-    }
-    try:
-        result = GenDPRProtocol(federation).run()
-    except ReproError as exc:
-        record["outcome"] = "classified_abort"
-        record["error"] = type(exc).__name__
-        _sharded_decisions[(seed, shards)] = ("abort", type(exc).__name__)
-    else:
-        assert result.l_prime == reference.l_prime
-        assert result.l_double_prime == reference.l_double_prime
-        assert result.l_safe == reference.l_safe
-        record["outcome"] = "completed"
-        record["failovers"] = federation.failovers
-        record["member_restorations"] = federation.member_restorations
+    run = _execute(oracle, seed, shards)
+    _collect(run, seed, shards, member_restorations=run.member_restorations)
+    assert run.violation is None, run.violation
+    if run.verdict == "completed":
         _sharded_decisions[(seed, shards)] = (
             "completed",
-            tuple(result.l_safe),
+            tuple(run.result.l_safe),
         )
-    finally:
-        record["injected"] = federation.fault_injector.counters()
-        _collected_runs.append(record)
+    else:
+        _sharded_decisions[(seed, shards)] = ("abort", run.error)
 
 
 def test_sharded_sweep_decisions_identical_across_shard_counts():
@@ -277,7 +183,7 @@ def test_sharded_sweep_decisions_identical_across_shard_counts():
 
 
 def test_sweep_covers_both_modes_and_collusion():
-    cells = {(_mode(s), _f(s)) for s in CHAOS_SEEDS}
+    cells = {(seed_mode(s), seed_f(s)) for s in CHAOS_SEEDS}
     assert cells == {
         ("sequential", 0),
         ("sequential", 1),
@@ -285,32 +191,34 @@ def test_sweep_covers_both_modes_and_collusion():
         ("parallel", 1),
     }
     assert len(CHAOS_SEEDS) >= 20
-    assert CRASH_SEEDS and PARTITION_SEEDS
+    assert CHAOS_CRASH_SEEDS and CHAOS_PARTITION_SEEDS
     # The sharded subset keeps the same spread: both modes, both
     # collusion settings, at least one crash and one partition plan.
-    assert {_mode(s) for s in SHARDED_SEEDS} == {"sequential", "parallel"}
-    assert {_f(s) for s in SHARDED_SEEDS} == {0, 1}
-    assert set(SHARDED_SEEDS) & CRASH_SEEDS
-    assert set(SHARDED_SEEDS) & PARTITION_SEEDS
+    assert {seed_mode(s) for s in SHARDED_SEEDS} == {
+        "sequential",
+        "parallel",
+    }
+    assert {seed_f(s) for s in SHARDED_SEEDS} == {0, 1}
+    assert set(SHARDED_SEEDS) & CHAOS_CRASH_SEEDS
+    assert set(SHARDED_SEEDS) & CHAOS_PARTITION_SEEDS
     assert len(SHARD_AXIS) >= 2
 
 
-def test_chaos_replays_identically(chaos_cohort, references):
+def test_chaos_replays_identically(oracle):
     """The same seed reproduces the same injected faults, bit for bit."""
     seed = 10  # a crash seed: the heaviest machinery in one run
-    counters = []
-    for _ in range(2):
-        config = dataclasses.replace(
-            _base_config(seed),
-            faults=_fault_config(seed),
-            resilience=ResilienceConfig.supervised(),
-        )
-        federation = build_federation(
-            config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-        )
-        try:
-            GenDPRProtocol(federation).run()
-        except ReproError:
-            pass
-        counters.append(federation.fault_injector.counters())
+    counters = [_execute(oracle, seed).injected for _ in range(2)]
     assert counters[0] == counters[1]
+
+
+def test_report_records_dedupe_and_carry_digest(oracle):
+    """Re-running a sweep cell replaces its report record (no dupes),
+    and every record is traceable to its exact plan via the digest."""
+    run = _execute(oracle, 1)
+    before = len(_collected_runs)
+    _collect(run, 1)
+    _collect(run, 1)
+    assert len(_collected_runs) == before
+    record = _collected_runs[(1, 1)]
+    assert record["plan_digest"] == run.federation.fault_injector.plan.digest()
+    assert record["plan"] == run.federation.fault_injector.plan.describe()

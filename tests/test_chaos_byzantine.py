@@ -7,16 +7,19 @@ actions — REPLAY, WITHHOLD, EQUIVOCATE and sealed-checkpoint tampering
 (broadcast-consistency echo, channel-transcript cross-checks and
 checkpoint freshness; see ``docs/RESILIENCE.md``).
 
-The verdict contract is the same as the crash tier, but strictly
-harder: every run must either complete with release decisions
-**bit-identical** to the fault-free reference of its (mode, collusion)
-cell, or abort with a *classified* integrity error — and every
-detection must increment its ``integrity.*`` counter.
+The verdict contract is the crash tier's, but strictly harder: every
+run must either complete with release decisions **bit-identical** to
+the fault-free reference of its (mode, collusion) cell, or abort with
+a *classified* integrity error — and every detection must increment
+its ``integrity.*`` counter.  The invariant executes inside
+:mod:`repro.fuzz.oracle` (shared with the fuzzer and the crash tier)
+and the 18 adversarial genomes come from :mod:`repro.fuzz.seeds`.
 
-Set ``CHAOS_REPORT_PATH`` to write the per-run report and
-``CHAOS_INTEGRITY_PATH`` to write the aggregated integrity counters;
-the CI ``chaos`` job uploads both as artifacts.  Any failure
-reproduces locally from its seed alone.
+Set ``CHAOS_REPORT_PATH`` to write the per-run report (records keyed
+by sweep cell — re-runs replace, never duplicate — each carrying its
+plan digest) and ``CHAOS_INTEGRITY_PATH`` to write the aggregated
+integrity counters; the CI ``chaos`` job uploads both as artifacts.
+Any failure reproduces locally from its seed alone.
 """
 
 from __future__ import annotations
@@ -27,35 +30,26 @@ import os
 
 import pytest
 
-from repro import StudyConfig, generate_cohort, partition_cohort
-from repro.config import (
-    CollusionPolicy,
-    ExecutionConfig,
-    FaultConfig,
-    IntegrityConfig,
-    ResilienceConfig,
-)
-from repro.core.federation import build_federation
+from repro import generate_cohort
 from repro.core.integrity import COUNTER_NAMES
-from repro.core.leader import elect_leader
-from repro.core.protocol import GenDPRProtocol
-from repro.errors import IntegrityError, ReproError, SealingError
+from repro.fuzz.genome import genome_config
+from repro.fuzz.oracle import DecisionOracle
+from repro.fuzz.seeds import (
+    BYZANTINE_CORRUPT_SEEDS,
+    BYZANTINE_EQUIVOCATE_SEEDS,
+    BYZANTINE_SEEDS,
+    BYZANTINE_STALE_SEEDS,
+    byzantine_seed_genome,
+    first_follower,
+    seed_f,
+    seed_mode,
+)
 from repro.genomics import SyntheticSpec
 
 MEMBERS = 3
 STUDY_ID = "byzantine-sweep"
 STUDY_SEED = 5
 
-#: The sweep: 18 seeded adversarial plans (the issue floor is 16).
-#: Mode and collusion derive from the seed so the grid covers
-#: {sequential, parallel} × {f=0, f=1}.
-BYZANTINE_SEEDS = list(range(101, 119))
-#: Seeds whose plan arms broadcast equivocation.
-EQUIVOCATE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 3 == 0}
-#: Seeds whose plan serves a *stale* checkpoint at failover.
-STALE_SEEDS = {s for s in BYZANTINE_SEEDS if s % 5 == 0 and s % 7 != 0}
-#: Seeds whose plan serves a bit-flipped checkpoint at failover.
-CORRUPT_SEEDS = {s for s in BYZANTINE_SEEDS if s % 7 == 0}
 #: Subset of the sweep re-run sharded (per shard count in SHARD_AXIS).
 #: Hand-picked for both modes, both collusion settings, broadcast
 #: equivocators (102, 105, 108, 111) and corrupt-checkpoint tamperers
@@ -66,93 +60,75 @@ SHARD_AXIS = (2, 4)
 #: one member — interior-node equivocation against the tree rounds.
 SHARD_FLIP_SEEDS = {101, 108, 111}
 
-_collected_runs = []
-_aggregate_counters = {name: 0 for name in COUNTER_NAMES}
-
-
-def _mode(seed: int) -> str:
-    return "parallel" if seed % 2 else "sequential"
-
-
-def _f(seed: int) -> int:
-    return 1 if seed % 4 >= 2 else 0
-
-
-def _leader_id() -> str:
-    return elect_leader(
-        [f"gdo-{i}" for i in range(MEMBERS)], STUDY_SEED, STUDY_ID
-    )
-
-
-def _fault_config(seed: int) -> FaultConfig:
-    tamper = (
-        "corrupt"
-        if seed in CORRUPT_SEEDS
-        else "stale"
-        if seed in STALE_SEEDS
-        else ""
-    )
-    return FaultConfig.byzantine(
-        seed,
-        intensity=0.1,
-        equivocate_rate=0.35 if seed in EQUIVOCATE_SEEDS else 0.0,
-        checkpoint_tamper=tamper,
-        # Tampered restores only happen at a failover, so tamper plans
-        # also crash the leader once mid-study to force one.  Ecall 5
-        # (lead_run_maf, with integrity on) sits just past the *second*
-        # checkpoint, so a "stale" plan's rolled-back blob really is
-        # older than the platform counter at restore time.
-        crash_points=((_leader_id(), 5),) if tamper else (),
-    )
+#: Report records keyed by (seed, shards): re-execution within one
+#: session replaces the cell's record, so the report never
+#: accumulates duplicates (and neither do the aggregated counters,
+#: which are summed from the records at teardown).
+_collected_runs = {}
 
 
 @pytest.fixture(scope="module")
-def chaos_cohort():
+def oracle():
     cohort, _ = generate_cohort(
         SyntheticSpec(num_snps=80, num_case=120, num_control=100, seed=5)
     )
-    return cohort
-
-
-def _base_config(seed: int) -> StudyConfig:
-    return StudyConfig(
-        snp_count=80,
+    return DecisionOracle(
+        cohort=cohort,
+        members=MEMBERS,
         study_id=STUDY_ID,
-        seed=STUDY_SEED,
-        execution=ExecutionConfig(mode=_mode(seed)),
-        collusion=(
-            CollusionPolicy.static(_f(seed))
-            if _f(seed)
-            else CollusionPolicy.none()
-        ),
+        study_seed=STUDY_SEED,
     )
 
 
-@pytest.fixture(scope="module")
-def references(chaos_cohort):
-    """Fault-free reference outcomes per (mode, f) cell.
+def _genome(oracle, seed, shards=1):
+    genome = byzantine_seed_genome(
+        seed, members=oracle.member_ids, leader=oracle.leader_id
+    )
+    faults = genome.faults
+    if shards > 1 and seed in SHARD_FLIP_SEEDS:
+        # The interior-node attack the shard commitment verification
+        # exists to catch: a member's compromised module emits
+        # in-bounds falsified leaf partials into the tree.
+        faults = dataclasses.replace(
+            faults,
+            shard_flip_rate=0.35,
+            shard_flip_target=first_follower(
+                oracle.member_ids, oracle.leader_id
+            ),
+        )
+    return dataclasses.replace(genome, faults=faults, shards=shards)
 
-    Computed with integrity *and* resilience disabled — so the sweep
-    simultaneously validates that the verification rounds change no
-    release decision.
-    """
-    refs = {}
-    for mode in ("sequential", "parallel"):
-        for f in (0, 1):
-            config = StudyConfig(
-                snp_count=80,
-                study_id=STUDY_ID,
-                seed=STUDY_SEED,
-                execution=ExecutionConfig(mode=mode),
-                collusion=(
-                    CollusionPolicy.static(f) if f else CollusionPolicy.none()
-                ),
-            )
-            federation = build_federation(
-                config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-            )
-            refs[(mode, f)] = GenDPRProtocol(federation).run()
-    return refs
+
+def _execute(oracle, seed, shards=1):
+    config = genome_config(
+        _genome(oracle, seed, shards),
+        snp_count=80,
+        study_id=STUDY_ID,
+        study_seed=STUDY_SEED,
+        max_attempts=6,
+        max_failovers=3,
+    )
+    return oracle.execute(config)
+
+
+def _collect(run, seed, shards=1, **extra):
+    _collected_runs[(seed, shards)] = run.record(
+        seed=seed,
+        shards=shards,
+        mode=seed_mode(seed),
+        f=seed_f(seed),
+        failovers=run.failovers,
+        integrity=dict(run.integrity_counters),
+        **extra,
+    )
+
+
+def _aggregate_counters():
+    totals = {name: 0 for name in COUNTER_NAMES}
+    for record in _collected_runs.values():
+        for name, value in record["integrity"].items():
+            totals[name] += value
+    return totals
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -161,19 +137,18 @@ def byzantine_report():
     yield
     if not _collected_runs:
         return
+    runs = [_collected_runs[key] for key in sorted(_collected_runs)]
     report_path = os.environ.get("CHAOS_REPORT_PATH")
     if report_path:
-        completed = sum(
-            1 for r in _collected_runs if r["outcome"] == "completed"
-        )
+        completed = sum(1 for r in runs if r["outcome"] == "completed")
         payload = {
             "study_id": STUDY_ID,
             "members": MEMBERS,
-            "runs": list(_collected_runs),
+            "runs": runs,
             "summary": {
-                "total": len(_collected_runs),
+                "total": len(runs),
                 "completed_identical": completed,
-                "classified_aborts": len(_collected_runs) - completed,
+                "classified_aborts": len(runs) - completed,
             },
         }
         with open(report_path, "w", encoding="utf-8") as handle:
@@ -183,8 +158,8 @@ def byzantine_report():
     if integrity_path:
         payload = {
             "study_id": STUDY_ID,
-            "runs": len(_collected_runs),
-            "integrity_counters": dict(_aggregate_counters),
+            "runs": len(runs),
+            "integrity_counters": _aggregate_counters(),
         }
         with open(integrity_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -192,85 +167,28 @@ def byzantine_report():
 
 
 @pytest.mark.parametrize("seed", BYZANTINE_SEEDS)
-def test_byzantine_run_is_identical_or_classified(
-    seed, chaos_cohort, references
-):
-    config = dataclasses.replace(
-        _base_config(seed),
-        faults=_fault_config(seed),
-        integrity=IntegrityConfig.on(),
-        resilience=ResilienceConfig.supervised(
-            max_attempts=6, max_failovers=3
-        ),
-    )
-    reference = references[(_mode(seed), _f(seed))]
-    federation = build_federation(
-        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-    )
-    record = {
-        "seed": seed,
-        "mode": _mode(seed),
-        "f": _f(seed),
-        "plan": federation.fault_injector.plan.describe(),
-    }
-    try:
-        result = GenDPRProtocol(federation).run()
-    except ReproError as exc:
-        # An abort under an armed adversary must be *classified*: a
-        # detected violation (IntegrityError), a rejected tampered
-        # restore (SealingError), or a typed resilience abort — all
-        # ReproError subclasses, never a bare crash or a hang.
-        record["outcome"] = "classified_abort"
-        record["error"] = type(exc).__name__
-        if isinstance(exc, (IntegrityError, SealingError)):
-            # The typed abort must have been counted at its
-            # detection site.
-            assert federation.integrity_monitor.detections >= 1
-    else:
-        assert result.l_prime == reference.l_prime
-        assert result.l_double_prime == reference.l_double_prime
-        assert result.l_safe == reference.l_safe
-        record["outcome"] = "completed"
-        record["failovers"] = federation.failovers
-        injected = federation.fault_injector.counters()
-        if injected["equivocations"]:
-            # A completed run that absorbed an equivocation must have
-            # detected (and recovered from) every occurrence.
-            assert (
-                federation.integrity_monitor.counters()[
-                    "equivocations_detected"
-                ]
-                >= 1
-            )
-    finally:
-        record["injected"] = federation.fault_injector.counters()
-        record["integrity"] = federation.integrity_monitor.counters()
-        for name, value in record["integrity"].items():
-            _aggregate_counters[name] += value
-        _collected_runs.append(record)
-
-
-def _sharded_fault_config(seed: int) -> FaultConfig:
-    """The seed's Byzantine plan, plus combine-frame falsification.
-
-    Shard-flip seeds arm the interior-node attack the shard commitment
-    verification exists to catch: a member's compromised module emits
-    in-bounds falsified leaf partials into the tree.
-    """
-    member = next(
-        m for m in (f"gdo-{i}" for i in range(MEMBERS)) if m != _leader_id()
-    )
-    return dataclasses.replace(
-        _fault_config(seed),
-        shard_flip_rate=0.35 if seed in SHARD_FLIP_SEEDS else 0.0,
-        shard_flip_target=member if seed in SHARD_FLIP_SEEDS else "",
-    )
+def test_byzantine_run_is_identical_or_classified(seed, oracle):
+    run = _execute(oracle, seed)
+    _collect(run, seed)
+    # An abort under an armed adversary must be *classified*: a
+    # detected violation (IntegrityError), a rejected tampered restore
+    # (SealingError), or a typed resilience abort — all ReproError
+    # subclasses, never a bare crash or a hang.  The oracle encodes
+    # exactly that contract in the violation field.
+    assert run.violation is None, run.violation
+    if run.error in ("IntegrityError", "SealingError"):
+        # The typed abort must have been counted at its detection site.
+        assert run.federation.integrity_monitor.detections >= 1
+    if run.verdict == "completed" and run.injected["equivocations"]:
+        # A completed run that absorbed an equivocation must have
+        # detected (and recovered from) every occurrence.
+        assert run.integrity_counters["equivocations_detected"] >= 1
 
 
 @pytest.mark.parametrize("shards", SHARD_AXIS)
 @pytest.mark.parametrize("seed", SHARDED_SEEDS)
 def test_sharded_byzantine_run_is_identical_or_classified(
-    seed, shards, chaos_cohort, references
+    seed, shards, oracle
 ):
     """The Byzantine invariant survives composition with sharding.
 
@@ -280,60 +198,21 @@ def test_sharded_byzantine_run_is_identical_or_classified(
     bit-identical to the unsharded fault-free reference or aborts
     classified, and every absorbed falsification was detected.
     """
-    from repro.config import ShardingConfig
-
-    config = dataclasses.replace(
-        _base_config(seed),
-        faults=_sharded_fault_config(seed),
-        sharding=ShardingConfig.over(shards),
-        integrity=IntegrityConfig.on(),
-        resilience=ResilienceConfig.supervised(
-            max_attempts=6, max_failovers=3
-        ),
-    )
-    reference = references[(_mode(seed), _f(seed))]
-    federation = build_federation(
-        config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-    )
-    record = {
-        "seed": seed,
-        "shards": shards,
-        "mode": _mode(seed),
-        "f": _f(seed),
-        "plan": federation.fault_injector.plan.describe(),
-    }
-    try:
-        result = GenDPRProtocol(federation).run()
-    except ReproError as exc:
-        record["outcome"] = "classified_abort"
-        record["error"] = type(exc).__name__
-        if isinstance(exc, (IntegrityError, SealingError)):
-            assert federation.integrity_monitor.detections >= 1
-    else:
-        assert result.l_prime == reference.l_prime
-        assert result.l_double_prime == reference.l_double_prime
-        assert result.l_safe == reference.l_safe
-        record["outcome"] = "completed"
-        record["failovers"] = federation.failovers
-        record["member_restorations"] = federation.member_restorations
-        injected = federation.fault_injector.counters()
-        if injected["shard_equivocations"]:
-            # A completed run that absorbed a falsified partial must
-            # have detected it and repaired around the liar.
-            monitor = federation.integrity_monitor.counters()
-            assert monitor["equivocations_detected"] >= 1
-            assert federation.member_restorations >= 1
-    finally:
-        record["injected"] = federation.fault_injector.counters()
-        record["integrity"] = federation.integrity_monitor.counters()
-        for name, value in record["integrity"].items():
-            _aggregate_counters[name] += value
-        _collected_runs.append(record)
+    run = _execute(oracle, seed, shards)
+    _collect(run, seed, shards, member_restorations=run.member_restorations)
+    assert run.violation is None, run.violation
+    if run.error in ("IntegrityError", "SealingError"):
+        assert run.federation.integrity_monitor.detections >= 1
+    if run.verdict == "completed" and run.injected["shard_equivocations"]:
+        # A completed run that absorbed a falsified partial must have
+        # detected it and repaired around the liar.
+        assert run.integrity_counters["equivocations_detected"] >= 1
+        assert run.member_restorations >= 1
 
 
 def test_sharded_sweep_armed_the_interior_node_attack():
     """At least one sharded run absorbed or aborted on a shard flip."""
-    sharded = [r for r in _collected_runs if "shards" in r]
+    sharded = [r for r in _collected_runs.values() if r["shards"] > 1]
     assert len(sharded) == len(SHARDED_SEEDS) * len(SHARD_AXIS)
     assert any(
         r["injected"].get("shard_equivocations", 0) >= 1 for r in sharded
@@ -341,7 +220,7 @@ def test_sharded_sweep_armed_the_interior_node_attack():
 
 
 def test_sweep_covers_modes_collusion_and_adversaries():
-    cells = {(_mode(s), _f(s)) for s in BYZANTINE_SEEDS}
+    cells = {(seed_mode(s), seed_f(s)) for s in BYZANTINE_SEEDS}
     assert cells == {
         ("sequential", 0),
         ("sequential", 1),
@@ -349,13 +228,20 @@ def test_sweep_covers_modes_collusion_and_adversaries():
         ("parallel", 1),
     }
     assert len(BYZANTINE_SEEDS) >= 16
-    assert EQUIVOCATE_SEEDS and STALE_SEEDS and CORRUPT_SEEDS
+    assert (
+        BYZANTINE_EQUIVOCATE_SEEDS
+        and BYZANTINE_STALE_SEEDS
+        and BYZANTINE_CORRUPT_SEEDS
+    )
     # The sharded subset keeps the spread and adds the interior-node
     # attack on top of the broadcast/checkpoint adversaries.
-    assert {_mode(s) for s in SHARDED_SEEDS} == {"sequential", "parallel"}
-    assert {_f(s) for s in SHARDED_SEEDS} == {0, 1}
-    assert set(SHARDED_SEEDS) & EQUIVOCATE_SEEDS
-    assert set(SHARDED_SEEDS) & CORRUPT_SEEDS
+    assert {seed_mode(s) for s in SHARDED_SEEDS} == {
+        "sequential",
+        "parallel",
+    }
+    assert {seed_f(s) for s in SHARDED_SEEDS} == {0, 1}
+    assert set(SHARDED_SEEDS) & BYZANTINE_EQUIVOCATE_SEEDS
+    assert set(SHARDED_SEEDS) & BYZANTINE_CORRUPT_SEEDS
     assert SHARD_FLIP_SEEDS <= set(SHARDED_SEEDS)
     assert len(SHARD_AXIS) >= 2
 
@@ -363,44 +249,30 @@ def test_sweep_covers_modes_collusion_and_adversaries():
 def test_tier_exercises_every_detection_path():
     """Across the tier, each key integrity metric fired at least once.
 
-    Runs after the parametrized sweep (pytest executes tests in
+    Runs after the parametrized sweeps (pytest executes tests in
     definition order within a module), so the aggregate is complete.
     """
     assert len(_collected_runs) == len(BYZANTINE_SEEDS) + len(
         SHARDED_SEEDS
     ) * len(SHARD_AXIS)
-    assert _aggregate_counters["equivocations_detected"] >= 1
-    assert _aggregate_counters["stale_checkpoints_rejected"] >= 1
-    assert _aggregate_counters["sealed_restore_failures"] >= 1
-    assert _aggregate_counters["quarantines"] >= 1
+    totals = _aggregate_counters()
+    assert totals["equivocations_detected"] >= 1
+    assert totals["stale_checkpoints_rejected"] >= 1
+    assert totals["sealed_restore_failures"] >= 1
+    assert totals["quarantines"] >= 1
 
 
-def test_byzantine_replay_is_deterministic(chaos_cohort, references):
+def test_byzantine_replay_is_deterministic(oracle):
     """The same seed reproduces the same adversary, bit for bit."""
     seed = 105  # corrupt-checkpoint + equivocation: heaviest machinery
     observed = []
     for _ in range(2):
-        config = dataclasses.replace(
-            _base_config(seed),
-            faults=_fault_config(seed),
-            integrity=IntegrityConfig.on(),
-            resilience=ResilienceConfig.supervised(
-                max_attempts=6, max_failovers=3
-            ),
-        )
-        federation = build_federation(
-            config, partition_cohort(chaos_cohort, MEMBERS), chaos_cohort
-        )
-        try:
-            GenDPRProtocol(federation).run()
-            outcome = "completed"
-        except ReproError as exc:
-            outcome = type(exc).__name__
+        run = _execute(oracle, seed)
         observed.append(
             (
-                outcome,
-                federation.fault_injector.counters(),
-                federation.integrity_monitor.counters(),
+                run.verdict if run.error is None else run.error,
+                run.injected,
+                run.integrity_counters,
             )
         )
     assert observed[0] == observed[1]

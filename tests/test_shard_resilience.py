@@ -22,7 +22,6 @@ the CI ``sharded-chaos`` job uploads it as an artifact.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 
@@ -50,7 +49,9 @@ SHARD_COUNTS = (2, 4)
 #: Seeded network-noise plans masked by combine-edge retries.
 NOISE_SEEDS = (31, 32, 33, 34)
 
-_collected_runs = []
+#: Report records keyed by run label: re-execution within one session
+#: replaces the record, so the report never accumulates duplicates.
+_collected_runs = {}
 
 
 def _leader_id() -> str:
@@ -122,17 +123,18 @@ def shard_chaos_report():
     path = os.environ.get("SHARD_CHAOS_REPORT_PATH")
     if not path or not _collected_runs:
         return
-    completed = sum(1 for r in _collected_runs if r["outcome"] == "completed")
+    runs = [_collected_runs[key] for key in sorted(_collected_runs)]
+    completed = sum(1 for r in runs if r["outcome"] == "completed")
     payload = {
         "study_id": STUDY_ID,
         "members": MEMBERS,
-        "runs": list(_collected_runs),
+        "runs": runs,
         "summary": {
-            "total": len(_collected_runs),
+            "total": len(runs),
             "completed_identical": completed,
-            "classified_aborts": len(_collected_runs) - completed,
+            "classified_aborts": len(runs) - completed,
             "repairs": sum(
-                r.get("repair", {}).get("repairs", 0) for r in _collected_runs
+                r.get("repair", {}).get("repairs", 0) for r in runs
             ),
         },
     }
@@ -153,6 +155,8 @@ def _run_and_record(shard_cohort, config, label: str):
         if federation.fault_injector is not None
         else {},
     }
+    if federation.fault_injector is not None:
+        record["plan_digest"] = federation.fault_injector.plan.digest()
     result, outcome = None, "completed"
     try:
         result = GenDPRProtocol(federation).run()
@@ -168,7 +172,7 @@ def _run_and_record(shard_cohort, config, label: str):
         meta = result.observability.meta.get("sharding", {})
         if "repair" in meta:
             record["repair"] = dict(meta["repair"])
-    _collected_runs.append(record)
+    _collected_runs[label] = record
     return outcome, result, federation
 
 
@@ -231,16 +235,14 @@ class TestMemberCrashRepair:
         with pytest.raises(MemberUnresponsiveError) as excinfo:
             GenDPRProtocol(federation).run()
         assert excinfo.value.report.member_id == victim
-        _collected_runs.append(
-            {
-                "label": "member-crash:budget-exhausted",
-                "shards": 2,
-                "outcome": "classified_abort",
-                "error": "MemberUnresponsiveError",
-                "member_restorations": federation.member_restorations,
-                "failovers": federation.failovers,
-            }
-        )
+        _collected_runs["member-crash:budget-exhausted"] = {
+            "label": "member-crash:budget-exhausted",
+            "shards": 2,
+            "outcome": "classified_abort",
+            "error": "MemberUnresponsiveError",
+            "member_restorations": federation.member_restorations,
+            "failovers": federation.failovers,
+        }
 
 
 class TestLeaderCrashMidShardPhase:
@@ -286,7 +288,11 @@ class TestNoisyCombineEdges:
 
     def test_noise_sweep_masked_at_least_once(self):
         """The sweep exercised the retry machinery, not just luck."""
-        noise = [r for r in _collected_runs if r["label"].startswith("noise:")]
+        noise = [
+            r
+            for r in _collected_runs.values()
+            if r["label"].startswith("noise:")
+        ]
         assert len(noise) == len(NOISE_SEEDS) * len(SHARD_COUNTS)
         assert any(r["outcome"] == "completed" for r in noise)
         injected = sum(
@@ -329,15 +335,14 @@ class TestCombineEquivocation:
                 >= 1
             )
         else:
-            abort = next(
-                r for r in reversed(_collected_runs)
-                if r["label"] == f"equivocate:s{shards}"
-            )
+            abort = _collected_runs[f"equivocate:s{shards}"]
             assert abort["error"].endswith("Error")
 
     def test_flips_were_injected_and_detected(self):
         runs = [
-            r for r in _collected_runs if r["label"].startswith("equivocate:")
+            r
+            for r in _collected_runs.values()
+            if r["label"].startswith("equivocate:")
         ]
         assert len(runs) == len(SHARD_COUNTS)
         for run in runs:
